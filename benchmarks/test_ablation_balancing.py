@@ -1,0 +1,45 @@
+"""Ablation: X/Z-distance balancing for corner defects (fig. 8).
+
+Compares Surf-Deformer's balanced fixed-basis choice against ASC-S's
+minimal-disable choice on corner removals.  Shape: balancing never does
+worse on ``min(dX, dZ)`` and wins on some corners.
+"""
+
+from repro.codes.distance import graph_distance
+from repro.deform import balancing, patch_q_rm
+from repro.surface import rotated_surface_code
+
+CORNERS = [(1, 1), (1, 9), (9, 1), (9, 9)]  # d = 5 corners
+
+
+def _compare():
+    rows = []
+    for corner in CORNERS:
+        balanced = rotated_surface_code(5)
+        basis = balancing(balanced, corner)
+        patch_q_rm(balanced, corner, fix_basis=basis)
+        ours = min(
+            graph_distance(balanced.code, "X"), graph_distance(balanced.code, "Z")
+        )
+        worst = None
+        for fixed in ("X", "Z"):
+            trial = rotated_surface_code(5)
+            try:
+                patch_q_rm(trial, corner, fix_basis=fixed)
+                dist = min(
+                    graph_distance(trial.code, "X"), graph_distance(trial.code, "Z")
+                )
+            except (ValueError, RuntimeError):
+                continue
+            worst = dist if worst is None else min(worst, dist)
+        rows.append((corner, basis, ours, worst))
+    return rows
+
+
+def test_ablation_corner_balancing(benchmark, table):
+    rows = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    for corner, basis, ours, worst in rows:
+        table.add(corner, basis, ours, worst)
+    table.show(header=("corner", "balanced fix", "balanced min(dX,dZ)", "worst fixed"))
+    for corner, _, ours, worst in rows:
+        assert ours >= worst, corner

@@ -1,0 +1,52 @@
+"""Fig. 11(c): non-local-operation throughput vs defect rate.
+
+100 logical qubits, three task sets of 5 tasks × 25 CNOTs on 50 distinct
+qubits (three parallelism levels via different random draws), defect
+rates 0 … 2×10⁻⁴.  Shape: Q3DE's layout loses throughput as the rate
+grows; the Surf-Deformer layout stays near the defect-free line.
+"""
+
+import numpy as np
+
+from conftest import scaled
+from repro.eval import throughput_experiment
+from repro.eval.throughput import make_task_set
+from repro.layout import LayoutGenerator
+
+RATES = (0.0, 5e-5, 1e-4, 2e-4)
+
+
+def _sweep():
+    spec = LayoutGenerator().generate(100, 1e6, d=9)
+    samples = scaled(8, minimum=4)
+    curves = {"surf_deformer": [], "q3de": []}
+    for rate in RATES:
+        for policy in curves:
+            rels = []
+            for task_seed in (1, 2, 3):  # three task sets (parallelism levels)
+                gates = make_task_set(100, 5, 25, qubits_used=50, seed=task_seed)
+                r = throughput_experiment(
+                    policy, rate, gates, spec=spec, samples=samples, seed=7
+                )
+                rels.append(r.relative)
+            curves[policy].append(float(np.mean(rels)))
+    return curves
+
+
+def test_fig11c_throughput(benchmark, table):
+    curves = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    for i, rate in enumerate(RATES):
+        table.add(
+            f"{rate:.0e}",
+            f"{curves['surf_deformer'][i]:.3f}",
+            f"{curves['q3de'][i]:.3f}",
+        )
+    table.show(header=("defect rate", "Surf-D rel. throughput", "Q3DE rel. throughput"))
+
+    # At zero rate both match the optimal lattice-surgery schedule.
+    assert curves["surf_deformer"][0] == 1.0
+    assert curves["q3de"][0] == 1.0
+    # Q3DE degrades with rate; Surf-Deformer stays near optimal.
+    assert curves["q3de"][-1] < 0.99
+    assert curves["surf_deformer"][-1] > 0.99
+    assert curves["surf_deformer"][-1] > curves["q3de"][-1]

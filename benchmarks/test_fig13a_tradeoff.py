@@ -1,0 +1,48 @@
+"""Fig. 13(a): retry-risk vs physical-qubit trade-off lines.
+
+Sweeps code distance for ASC-S and Surf-Deformer on one workload and
+reports (physical qubits, retry risk) pairs.  Shape: both lines fall
+roughly exponentially with qubit count (distance), and Surf-Deformer's
+line sits strictly below ASC-S's — same risk at fewer qubits.
+"""
+
+from repro.compiler import paper_benchmark
+from repro.eval import evaluate_program
+
+DISTANCES = (17, 19, 21, 23, 25)
+PROGRAM = "RCA-225-500"
+
+
+def _sweep():
+    prog = paper_benchmark(PROGRAM)
+    lines = {"asc_s": [], "surf_deformer": []}
+    for method in lines:
+        for d in DISTANCES:
+            r = evaluate_program(prog, method, d)
+            lines[method].append((d, r.physical_qubits, r.retry_risk))
+    return lines
+
+
+def test_fig13a_tradeoff(benchmark, table):
+    lines = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    for method, points in lines.items():
+        for d, qubits, risk in points:
+            table.add(method, d, f"{qubits:.2e}", f"{risk:.2e}")
+    table.show(header=("method", "d", "physical qubits", "retry risk"))
+
+    asc = {d: risk for d, _, risk in lines["asc_s"]}
+    ours = {d: risk for d, _, risk in lines["surf_deformer"]}
+    for d in DISTANCES:
+        assert ours[d] < asc[d], d
+    # Both trade-off lines decrease with distance (exponential regime).
+    ours_risks = [risk for _, _, risk in lines["surf_deformer"]]
+    assert ours_risks == sorted(ours_risks, reverse=True)
+    # Surf-Deformer reaches ASC-S's best risk with fewer qubits.
+    asc_best = min(asc.values())
+    cheaper = [
+        qubits
+        for _, qubits, risk in lines["surf_deformer"]
+        if risk <= asc_best
+    ]
+    asc_best_qubits = max(q for _, q, r in lines["asc_s"] if r == asc_best)
+    assert cheaper and min(cheaper) < asc_best_qubits

@@ -1,0 +1,47 @@
+"""Fig. 13(b): yield rate of deforming a faulty patch to a target code.
+
+The paper deforms an l = 35 patch with static faulty qubits to distance
+≥ 27.  That geometry is directly reproducible but slow in pure Python,
+so the default run uses the scaled-down equivalent (l = 13 → target 9;
+same ratio l ≈ 1.3 × target, preserving the yield crossover).  Shape:
+Surf-Deformer's yield exceeds ASC-S's, with ≈ 2× advantage at moderate
+fault counts.
+"""
+
+import numpy as np
+
+from conftest import scaled
+from repro.eval import yield_rate
+
+PATCH = 13
+TARGET = 9
+FAULTS = (0, 2, 4, 8, 12)
+
+
+def _sweep():
+    samples = scaled(20, minimum=10)
+    curves = {"asc_s": [], "surf_deformer": []}
+    for method in curves:
+        for k in FAULTS:
+            curves[method].append(
+                yield_rate(method, PATCH, k, TARGET, samples=samples, seed=k + 1)
+            )
+    return curves
+
+
+def test_fig13b_yield(benchmark, table):
+    curves = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    for i, k in enumerate(FAULTS):
+        table.add(k, f"{curves['asc_s'][i]:.2f}", f"{curves['surf_deformer'][i]:.2f}")
+    table.show(header=("# faulty qubits", "ASC-S yield", "Surf-D yield"))
+
+    assert curves["surf_deformer"][0] == 1.0
+    assert curves["asc_s"][0] == 1.0
+    for i in range(len(FAULTS)):
+        assert curves["surf_deformer"][i] >= curves["asc_s"][i] - 0.05, FAULTS[i]
+    # The advantage is material at moderate fault counts.
+    mid = len(FAULTS) // 2
+    gap = np.mean(
+        [curves["surf_deformer"][i] - curves["asc_s"][i] for i in range(mid, len(FAULTS))]
+    )
+    assert gap > 0.05

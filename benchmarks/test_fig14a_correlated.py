@@ -1,0 +1,69 @@
+"""Fig. 14(a): robustness to correlated (two-qubit-gate) error rates.
+
+A distance-9 code with a defect region, under two-qubit depolarizing
+rates 1e-3 / 2e-3 / 4e-3 (single-qubit fixed at 1e-3).  Shape: the
+deformed (defects-removed) code stays roughly an order of magnitude
+better than the untreated surface code as the correlated rate rises.
+"""
+
+from conftest import scaled
+from repro.defects import CosmicRayModel
+from repro.deform import defect_removal
+from repro.eval import memory_experiment
+from repro.sim import NoiseModel
+from repro.surface import rotated_surface_code
+
+D = 9
+NUM_DEFECTS = 8
+P2_VALUES = (1e-3, 2e-3, 4e-3)
+
+
+def _point(p2: float, treat: bool, shots: int, seed: int) -> float:
+    noise = NoiseModel.uniform(1e-3).with_correlated(p2)
+    patch = rotated_surface_code(D)
+    defects = CosmicRayModel(seed=seed).sample_defective_qubits(
+        patch.all_qubit_coords(), NUM_DEFECTS
+    )
+    if treat:
+        defect_removal(patch, defects, compute_distances=False)
+        result = memory_experiment(
+            patch.code, "Z", noise, rounds=5, shots=shots, seed=seed
+        )
+    else:
+        data = {q for q in defects if q in patch.code.data_qubits}
+        anc = defects - data
+        result = memory_experiment(
+            patch.code,
+            "Z",
+            noise,
+            rounds=5,
+            shots=shots,
+            seed=seed,
+            defective_data=data,
+            defective_ancillas=anc,
+            decoder_method="greedy",
+        )
+    return result.per_round
+
+
+def _sweep():
+    shots = scaled(300, minimum=100)
+    rows = []
+    for p2 in P2_VALUES:
+        untreated = _point(p2, treat=False, shots=shots, seed=21)
+        treated = _point(p2, treat=True, shots=shots, seed=21)
+        rows.append((p2, untreated, treated))
+    return rows
+
+
+def test_fig14a_correlated_errors(benchmark, table):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    for p2, untreated, treated in rows:
+        table.add(f"{p2:.0e}", f"{untreated:.2e}", f"{treated:.2e}")
+    table.show(header=("p_correlated", "surface code (untreated)", "Surf-Deformer"))
+    for p2, untreated, treated in rows:
+        # The improvement persists across correlated error rates.
+        assert untreated > 3 * treated, p2
+    # Treated rates grow with the correlated rate but stay moderate.
+    treated_rates = [t for _, _, t in rows]
+    assert treated_rates[-1] >= treated_rates[0]

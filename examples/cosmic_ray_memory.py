@@ -1,0 +1,66 @@
+"""Cosmic-ray strike on a quantum memory: measure the logical error rate.
+
+Reproduces the fig. 11(a) effect end to end on the built-in simulator:
+
+1. sample a cosmic-ray defect region on a distance-9 patch,
+2. measure the memory logical error rate with the defects left in place
+   (the decoder unaware, as in a real unexpected strike),
+3. remove the defects with Surf-Deformer and measure again,
+4. compare with the clean code.
+
+Run:  python examples/cosmic_ray_memory.py        (~1 minute)
+"""
+
+from repro import CosmicRayModel, NoiseModel, rotated_surface_code
+from repro.deform import defect_removal
+from repro.eval import memory_experiment
+
+D = 9
+NUM_DEFECTS = 8
+SHOTS = 300
+ROUNDS = 5
+
+
+def main() -> None:
+    noise = NoiseModel.uniform(1e-3)
+    patch = rotated_surface_code(D)
+    model = CosmicRayModel(seed=7)
+    defects = model.sample_defective_qubits(patch.all_qubit_coords(), NUM_DEFECTS)
+    print(f"distance-{D} memory, {NUM_DEFECTS} defective qubits: {sorted(defects)}")
+
+    clean = memory_experiment(
+        rotated_surface_code(D).code, "Z", noise, rounds=ROUNDS, shots=SHOTS, seed=1
+    )
+    print(f"\nclean code:      {clean.per_round:.2e} logical errors / round")
+
+    data = {q for q in defects if q in patch.code.data_qubits}
+    untreated = memory_experiment(
+        patch.code,
+        "Z",
+        noise,
+        rounds=ROUNDS,
+        shots=SHOTS,
+        seed=1,
+        defective_data=data,
+        defective_ancillas=defects - data,
+        decoder_method="greedy",
+    )
+    print(f"untreated strike: {untreated.per_round:.2e} logical errors / round")
+
+    treated_patch = rotated_surface_code(D)
+    report = defect_removal(treated_patch, defects)
+    treated = memory_experiment(
+        treated_patch.code, "Z", noise, rounds=ROUNDS, shots=SHOTS, seed=1
+    )
+    print(
+        f"after removal:    {treated.per_round:.2e} logical errors / round "
+        f"(distance {report.distance_after})"
+    )
+    if treated.per_round > 0:
+        print(f"\nremoval improves the strike by {untreated.per_round / treated.per_round:.0f}x")
+    else:
+        print("\nremoval restored the rate below this sample size's resolution")
+
+
+if __name__ == "__main__":
+    main()

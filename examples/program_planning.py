@@ -1,0 +1,54 @@
+"""Plan a fault-tolerant program run with the Surf-Deformer framework.
+
+Uses the compile-time layout generator on the paper's QFT-100-20
+workload: chooses the code distance for a target retry risk, the Δd
+inter-space from the defect model (equation 1), and compares the
+end-to-end retry risk against the ASC-S and Q3DE baselines — a
+single-row slice of Table II.
+
+Run:  python examples/program_planning.py
+"""
+
+from repro import SurfDeformer
+from repro.compiler import paper_benchmark
+from repro.eval import evaluate_program
+from repro.layout.generator import block_probability
+
+
+def main() -> None:
+    program = paper_benchmark("QFT-100-20")
+    print(f"program: {program.name}")
+    print(f"  logical qubits: {program.num_qubits}")
+    print(f"  CNOT count:     {program.cx_count:.2e}")
+    print(f"  T count:        {program.t_count:.2e}")
+
+    framework = SurfDeformer()
+    plan = framework.plan(program, target_risk=0.01)
+    spec = plan.spec
+    print(f"\nlayout generator output:")
+    print(f"  code distance d     = {spec.d}")
+    print(f"  extra inter-space Δd = {spec.delta_d} "
+          f"(channel-block probability {spec.p_block:.4f})")
+    print(f"  grid                = {spec.rows} x {spec.cols} logical cells")
+    print(f"  physical qubits     = {spec.physical_qubits():.2e}")
+    print(f"  estimated runtime   = {plan.total_cycles:.2e} QEC cycles")
+
+    print("\nequation-1 Δd trade-off at this distance:")
+    for delta in (0, 4, 8):
+        p = block_probability(
+            spec.d, delta,
+            event_rate_hz_per_qubit=framework.defect_model.event_rate_hz_per_qubit,
+            duration_s=framework.defect_model.duration_s,
+            defect_size=4,
+        )
+        print(f"  Δd = {delta}: p_block = {p:.4f}")
+
+    print("\nend-to-end retry risk at the planned distance (Table II row):")
+    for method in ("q3de", "asc_s", "surf_deformer"):
+        result = evaluate_program(program, method, spec.d)
+        print(f"  {method:14s}: {result.status:>12s}  "
+              f"({result.physical_qubits:.2e} physical qubits)")
+
+
+if __name__ == "__main__":
+    main()

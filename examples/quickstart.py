@@ -1,0 +1,49 @@
+"""Quickstart: deform a surface code around dynamic defects.
+
+Builds a distance-7 rotated surface code, strikes it with a mixed defect
+pattern (an interior data qubit, an interior syndrome qubit, a boundary
+qubit), and lets the Code Deformation Unit remove the defects and
+adaptively enlarge the patch back to its design distance.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CodeDeformationUnit,
+    check_code,
+    code_distance,
+    rotated_surface_code,
+)
+
+
+def main() -> None:
+    patch = rotated_surface_code(7)
+    print(f"fresh patch: {patch}")
+    print(f"  distance (dX, dZ) = {code_distance(patch.code)}")
+    print(f"  physical qubits   = {patch.physical_qubit_count()}")
+
+    defects = {
+        (7, 7),  # interior data qubit
+        (4, 6),  # interior syndrome qubit (X-check ancilla)
+        (1, 7),  # west-boundary data qubit
+    }
+    print(f"\ndefects detected: {sorted(defects)}")
+
+    unit = CodeDeformationUnit(max_layers_per_side=2)
+    report = unit.deform(patch, defects)
+
+    print("\ninstruction schedule issued to the execution unit:")
+    for instruction in report.instructions:
+        print(f"  {instruction}")
+
+    print(f"\nafter removal:     distance = {report.removal.distance_after}")
+    print(f"after enlargement: distance = {report.final_distance}")
+    print(f"design distance restored: {report.restored}")
+    print(f"physical qubits now: {patch.physical_qubit_count()}")
+
+    check_code(patch.code)  # Theorem-1 / Definition-4 invariants hold
+    print("\ncode validity audit: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Legacy setup shim: this environment's setuptools predates PEP 517 wheels."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Surf-Deformer: adaptive code deformation for dynamic defects on "
+        "surface codes (MICRO 2024 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy", "networkx"],
+)

@@ -1,0 +1,75 @@
+"""Surf-Deformer: adaptive code deformation for dynamic surface-code defects.
+
+A from-scratch reproduction of *Surf-Deformer: Mitigating Dynamic Defects
+on Surface Code via Adaptive Deformation* (MICRO 2024), including its
+substrates: a stabilizer-circuit simulator (Pauli-frame sampling), an
+MWPM decoder, the subsystem-code formalism, lattice surgery, and the
+evaluation harnesses that regenerate every table and figure.
+
+Quick start::
+
+    from repro import rotated_surface_code, CodeDeformationUnit, code_distance
+
+    patch = rotated_surface_code(5)
+    unit = CodeDeformationUnit()
+    report = unit.deform(patch, defects={(5, 5), (4, 6)})
+    print(report.instructions, report.final_distance)
+"""
+
+from repro.codes import (
+    Check,
+    StabilizerGenerator,
+    SubsystemCode,
+    brute_force_distance,
+    check_code,
+    code_distance,
+    graph_distance,
+)
+from repro.core import SurfDeformer
+from repro.defects import CosmicRayModel, DefectDetector
+from repro.deform import (
+    CodeDeformationUnit,
+    DeformationReport,
+    adaptive_enlargement,
+    data_q_rm,
+    defect_removal,
+    patch_q_add_layer,
+    patch_q_rm,
+    syndrome_q_rm,
+)
+from repro.layout import LayoutGenerator, LogicalLayout, Router
+from repro.pauli import PauliOp
+from repro.sim import NoiseModel
+from repro.surface import SurfacePatch, rotated_rect_patch, rotated_surface_code
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Check",
+    "StabilizerGenerator",
+    "SubsystemCode",
+    "brute_force_distance",
+    "check_code",
+    "code_distance",
+    "graph_distance",
+    "SurfDeformer",
+    "CosmicRayModel",
+    "DefectDetector",
+    "CodeDeformationUnit",
+    "DeformationReport",
+    "adaptive_enlargement",
+    "data_q_rm",
+    "defect_removal",
+    "patch_q_add_layer",
+    "patch_q_rm",
+    "syndrome_q_rm",
+    "LayoutGenerator",
+    "LogicalLayout",
+    "Router",
+    "PauliOp",
+    "NoiseModel",
+    "SurfacePatch",
+    "rotated_rect_patch",
+    "rotated_surface_code",
+    "__version__",
+]

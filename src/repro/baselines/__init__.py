@@ -1,0 +1,7 @@
+"""Baseline defect-mitigation methods: ASC-S, Q3DE, plain lattice surgery."""
+
+from repro.baselines.asc import asc_defect_removal
+from repro.baselines.q3de import q3de_enlarge
+from repro.baselines.methods import MethodModel, METHODS
+
+__all__ = ["asc_defect_removal", "q3de_enlarge", "MethodModel", "METHODS"]

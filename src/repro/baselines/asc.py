@@ -1,0 +1,63 @@
+"""ASC-S: the Adaptive Surface Code baseline (Siegel et al. / Lin et al.).
+
+ASC-S mitigates every defect with the one transformation it has — the
+super-stabilizer (``DataQ_RM``) — applied uniformly:
+
+* a defective data qubit is removed with ``DataQ_RM``;
+* a defective **syndrome** qubit is handled by removing all of its data
+  neighbours with ``DataQ_RM`` (fig. 7a), costing distance in both bases;
+* a boundary defect disables the qubit with the minimal-disable choice —
+  fixing the basis that switches off the fewest checks, with no X/Z
+  balancing (fig. 8a).
+
+No distance recovery is performed (issue A.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.deform.gauge import stabilizers_containing
+from repro.deform.instructions import data_q_rm, patch_q_rm
+from repro.surface.lattice import Coord, is_data_coord, is_face_coord
+from repro.surface.patch import SurfacePatch
+
+__all__ = ["asc_defect_removal"]
+
+
+def asc_defect_removal(patch: SurfacePatch, defects) -> None:
+    """Apply ASC-S's uniform super-stabilizer removal to ``defects``."""
+    for defect in sorted(set(defects)):
+        if is_face_coord(defect):
+            check = patch.check_at(defect)
+            patch.defective_ancillas.add(defect)
+            if check is None:
+                continue
+            if check.pauli.weight >= 3:
+                # Uniform treatment: super-stabilize away every data
+                # neighbour, even though they are intact (fig. 7a).
+                for q in sorted(check.pauli.support):
+                    if q in patch.code.data_qubits:
+                        _asc_remove_data(patch, q)
+            else:
+                patch_q_rm(patch, defect)
+            continue
+        if not is_data_coord(defect):
+            raise ValueError(f"{defect} is not a lattice coordinate")
+        if defect in patch.code.data_qubits:
+            _asc_remove_data(patch, defect)
+        else:
+            patch.defective_data.add(defect)
+
+
+def _asc_remove_data(patch: SurfacePatch, q: Coord) -> None:
+    n_x = len(stabilizers_containing(patch.code, q, "X"))
+    n_z = len(stabilizers_containing(patch.code, q, "Z"))
+    if n_x != 1 and n_z != 1:
+        data_q_rm(patch, q)
+        return
+    # Boundary: ASC-S picks the minimal-disable option — sacrifice the
+    # side with the single (cheapest to drop) stabilizer, without
+    # balancing X against Z (fig. 8a).
+    if n_x == 1:
+        patch_q_rm(patch, q, fix_basis="Z")
+    else:
+        patch_q_rm(patch, q, fix_basis="X")

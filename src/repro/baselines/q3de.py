@@ -1,0 +1,33 @@
+"""Q3DE: the fixed-enlargement baseline (Suzuki et al., MICRO 2022).
+
+On detecting a multi-bit burst error, Q3DE doubles the patch from d to
+2d using the lattice-surgery "growth" transformation, keeping the
+defective qubits inside the enlarged code (no removal — issue B.1) and
+always enlarging by the full fixed amount (issue B.2).  On the standard
+d-spaced layout the doubled patch swallows the surrounding communication
+channel (issue B.3).
+"""
+
+from __future__ import annotations
+
+from repro.deform.instructions import patch_q_add_layer
+from repro.surface.patch import SurfacePatch
+
+__all__ = ["q3de_enlarge"]
+
+
+def q3de_enlarge(patch: SurfacePatch, *, direction: str = "e") -> None:
+    """Double the patch size in one direction (fig. 7b).
+
+    Equivalent to ``d`` consecutive ``PatchQ_ADD`` layers.  Defective
+    qubits are *not* removed — they stay inside and keep injecting
+    errors, which is the behaviour figs. 7(b)/11(a) criticise.
+    """
+    if direction not in ("n", "s", "e", "w"):
+        raise ValueError("direction must be one of 'n', 's', 'e', 'w'")
+    d = patch.d
+    for _ in range(d):
+        patch_q_add_layer(patch, direction)
+    # Re-truncate nothing: Q3DE keeps defects.  But the rebuild performed
+    # by patch_q_add_layer resurrects previously-removed qubits, which is
+    # exactly Q3DE's semantics (defects remain part of the code).

@@ -1,0 +1,28 @@
+"""Subsystem stabilizer code formalism (section II-C of the paper)."""
+
+from repro.codes.subsystem import Check, SubsystemCode
+from repro.codes.distance import (
+    brute_force_distance,
+    graph_distance,
+    code_distance,
+)
+from repro.codes.validity import (
+    check_generator_representation,
+    check_measurement_set,
+    check_code,
+    ValidityError,
+)
+from repro.codes.subsystem import StabilizerGenerator
+
+__all__ = [
+    "Check",
+    "StabilizerGenerator",
+    "SubsystemCode",
+    "brute_force_distance",
+    "graph_distance",
+    "code_distance",
+    "check_generator_representation",
+    "check_measurement_set",
+    "check_code",
+    "ValidityError",
+]

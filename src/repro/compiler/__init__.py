@@ -1,0 +1,21 @@
+"""Quantum program generators and resource models (section VII-A)."""
+
+from repro.compiler.programs import (
+    Program,
+    simon,
+    ripple_carry_adder,
+    qft,
+    grover,
+    PAPER_BENCHMARKS,
+    paper_benchmark,
+)
+
+__all__ = [
+    "Program",
+    "simon",
+    "ripple_carry_adder",
+    "qft",
+    "grover",
+    "PAPER_BENCHMARKS",
+    "paper_benchmark",
+]

@@ -1,0 +1,5 @@
+"""The Surf-Deformer framework facade (fig. 5)."""
+
+from repro.core.framework import SurfDeformer
+
+__all__ = ["SurfDeformer"]

@@ -1,0 +1,135 @@
+"""The Surf-Deformer framework: layout generation + runtime deformation.
+
+Mirrors fig. 5's integration into the surface-code workflow:
+
+* at **compile time**, :meth:`SurfDeformer.plan` runs the layout
+  generator on the program's resource profile, producing code distance,
+  Δd inter-space and the placed layout;
+* at **runtime**, :meth:`SurfDeformer.on_defects` feeds each detector
+  report through the Code Deformation Unit, returning the instruction
+  schedule the execution unit would apply.
+
+Example::
+
+    from repro import SurfDeformer, rotated_surface_code
+    from repro.compiler import paper_benchmark
+
+    framework = SurfDeformer()
+    plan = framework.plan(paper_benchmark("QFT-100-20"), target_risk=0.01)
+    patch = rotated_surface_code(plan.spec.d)
+    report = framework.on_defects(patch, {(5, 5)})
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler import Program
+from repro.defects import CosmicRayModel, DefectDetector
+from repro.deform import CodeDeformationUnit, DeformationReport
+from repro.eval.lambda_model import LambdaModel
+from repro.layout.generator import LayoutGenerator, LayoutSpec
+from repro.layout.grid import LogicalLayout
+from repro.surface.lattice import Coord
+from repro.surface.patch import SurfacePatch
+from repro.surgery import estimate_schedule
+
+__all__ = ["SurfDeformer", "CompiledPlan"]
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """Compile-time output: layout spec, placed layout, runtime estimate."""
+
+    spec: LayoutSpec
+    layout: LogicalLayout
+    total_cycles: float
+
+
+class SurfDeformer:
+    """End-to-end adaptive defect-mitigation framework.
+
+    Args:
+        lambda_model: calibrated logical-error scaling (defaults to this
+            simulator's measured constants at p = 1e-3).
+        defect_model: the dynamic defect environment.
+        detector: optionally imperfect defect detector (fig. 14b).
+    """
+
+    def __init__(
+        self,
+        lambda_model: LambdaModel | None = None,
+        defect_model: CosmicRayModel | None = None,
+        detector: DefectDetector | None = None,
+    ) -> None:
+        self.lambda_model = lambda_model or LambdaModel()
+        self.defect_model = defect_model or CosmicRayModel()
+        self.detector = detector or DefectDetector()
+        self.layout_generator = LayoutGenerator(self.lambda_model, self.defect_model)
+
+    # ------------------------------------------------------------------
+    # Compile time
+    # ------------------------------------------------------------------
+    def plan(self, program: Program, *, target_risk: float = 1e-3) -> CompiledPlan:
+        """Generate the layout for ``program`` (fig. 5, compile time)."""
+        # The schedule length depends on d and d depends on the schedule
+        # length; iterate to the fixed point (converges in 2-3 steps).
+        d = 15
+        schedule = None
+        for _ in range(4):
+            schedule = estimate_schedule(
+                cx_count=program.cx_count,
+                t_count=program.t_count,
+                num_logical=program.num_qubits,
+                d=d,
+            )
+            refined = self.layout_generator.choose_distance(
+                program.num_qubits, schedule.total_cycles, target_risk
+            )
+            if refined == d:
+                break
+            d = refined
+        spec = self.layout_generator.generate(
+            program.num_qubits,
+            schedule.total_cycles,
+            target_risk=target_risk,
+            d=d,
+        )
+        return CompiledPlan(
+            spec=spec,
+            layout=LogicalLayout(spec=spec),
+            total_cycles=schedule.total_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    # Runtime
+    # ------------------------------------------------------------------
+    def deformation_unit(self, spec: LayoutSpec) -> CodeDeformationUnit:
+        """A Code Deformation Unit budgeted by the layout's Δd."""
+        layers = max(1, spec.delta_d // 2)
+        return CodeDeformationUnit(max_layers_per_side=layers)
+
+    def on_defects(
+        self,
+        patch: SurfacePatch,
+        true_defects: set[Coord],
+        *,
+        spec: LayoutSpec | None = None,
+        environment_defects: set[Coord] | None = None,
+    ) -> DeformationReport:
+        """Process one defect-detector report on ``patch`` (fig. 5, runtime).
+
+        Returns the deformation report whose ``instructions`` field is
+        the schedule handed to the execution unit.  Detection noise (if
+        the framework was built with an imperfect detector) is applied
+        to ``true_defects`` first.
+        """
+        healthy = patch.all_qubit_coords() - set(true_defects)
+        reported, _missed = self.detector.report(set(true_defects), healthy)
+        if spec is None:
+            unit = CodeDeformationUnit()
+        else:
+            unit = self.deformation_unit(spec)
+        return unit.deform(
+            patch, reported, environment_defects=environment_defects
+        )

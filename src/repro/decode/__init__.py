@@ -1,0 +1,6 @@
+"""Minimum-weight perfect matching decoding (the PyMatching substitute)."""
+
+from repro.decode.mwpm import MatchingDecoder
+from repro.decode.graph import DecodingGraph
+
+__all__ = ["MatchingDecoder", "DecodingGraph"]

@@ -1,0 +1,67 @@
+"""Weighted decoding graph built from a detector error model.
+
+Nodes are detector indices plus a virtual ``boundary`` node; each
+graphlike mechanism (one or two flipped detectors) becomes an edge whose
+weight is the log-likelihood ratio ``ln((1−p)/p)`` and which carries the
+observable-flip parity of the underlying physical error.  Parallel
+mechanisms between the same endpoints are merged by probability
+combination before weighting, exactly as PyMatching does.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.sim.dem import DetectorErrorModel
+
+BOUNDARY = "boundary"
+
+__all__ = ["DecodingGraph", "BOUNDARY"]
+
+
+class DecodingGraph:
+    """Matching graph over detectors with precomputed shortest paths."""
+
+    def __init__(self, dem: DetectorErrorModel, *, min_p: float = 1e-12) -> None:
+        self.dem = dem
+        graph = nx.Graph()
+        graph.add_nodes_from(range(dem.num_detectors))
+        graph.add_node(BOUNDARY)
+        combined: dict[tuple, tuple[float, bool]] = {}
+        for mech in dem.graphlike():
+            if len(mech.detectors) == 1:
+                key = (mech.detectors[0], BOUNDARY)
+            else:
+                a, b = sorted(mech.detectors)
+                key = (a, b)
+            p_old, obs_old = combined.get(key, (0.0, False))
+            if p_old == 0.0:
+                combined[key] = (mech.probability, mech.observable_flip)
+            else:
+                # Keep the likelier channel's observable parity; combine p.
+                p_new = p_old + mech.probability - 2 * p_old * mech.probability
+                obs = obs_old if p_old >= mech.probability else mech.observable_flip
+                combined[key] = (p_new, obs)
+        for (u, v), (p, obs) in combined.items():
+            p = min(max(p, min_p), 0.5 - min_p)
+            weight = math.log((1 - p) / p)
+            graph.add_edge(u, v, weight=weight, probability=p, observable=obs)
+        self.graph = graph
+        self._path_cache: dict = {}
+
+    def shortest(self, source) -> tuple[dict, dict]:
+        """Dijkstra distances and paths from ``source`` (cached)."""
+        if source not in self._path_cache:
+            dist, path = nx.single_source_dijkstra(self.graph, source, weight="weight")
+            self._path_cache[source] = (dist, path)
+        return self._path_cache[source]
+
+    def path_observable_parity(self, path: list) -> int:
+        """XOR of edge observable bits along a node path."""
+        parity = 0
+        for u, v in zip(path, path[1:]):
+            if self.graph[u][v]["observable"]:
+                parity ^= 1
+        return parity

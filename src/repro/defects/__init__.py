@@ -1,0 +1,11 @@
+"""Dynamic defect models and detection (sections II-B and VII-A)."""
+
+from repro.defects.models import CosmicRayModel, DefectEvent, sample_defect_region
+from repro.defects.detector import DefectDetector
+
+__all__ = [
+    "CosmicRayModel",
+    "DefectEvent",
+    "sample_defect_region",
+    "DefectDetector",
+]

@@ -1,0 +1,58 @@
+"""Dynamic defect detection with configurable unreliability (fig. 14b).
+
+Real detectors locate defects statistically and make mistakes; the paper
+evaluates robustness with false-positive and false-negative probabilities
+of 0.01.  :class:`DefectDetector` filters a ground-truth defect set
+accordingly: missed defects stay in the code untreated (their noise keeps
+acting) while false positives remove healthy qubits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.surface.lattice import Coord
+
+__all__ = ["DefectDetector"]
+
+
+@dataclass
+class DefectDetector:
+    """Imperfect defect detector.
+
+    Attributes:
+        false_negative: probability a true defect goes unreported.
+        false_positive: probability a healthy qubit is reported defective.
+        seed: RNG seed.
+    """
+
+    false_negative: float = 0.0
+    false_positive: float = 0.0
+    seed: int | None = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def report(
+        self, true_defects: set[Coord], healthy: set[Coord]
+    ) -> tuple[set[Coord], set[Coord]]:
+        """Detector output for a ground-truth defect set.
+
+        Returns ``(reported, missed)``: the set handed to the deformation
+        unit and the true defects it failed to flag (which keep injecting
+        defect-level noise untreated).
+        """
+        reported: set[Coord] = set()
+        missed: set[Coord] = set()
+        for q in sorted(true_defects):
+            if self._rng.random() < self.false_negative:
+                missed.add(q)
+            else:
+                reported.add(q)
+        for q in sorted(healthy - true_defects):
+            if self.false_positive > 0 and self._rng.random() < self.false_positive:
+                reported.add(q)
+        return reported, missed

@@ -1,0 +1,36 @@
+"""Surf-Deformer's code deformation layer (sections IV and V).
+
+Exposes the four deformation instructions, the two runtime subroutines
+(Defect Removal — Algorithm 1; Adaptive Enlargement — Algorithm 2) and the
+Code Deformation Unit that chains them each QEC cycle.
+"""
+
+from repro.deform.gauge import (
+    reroute_logical_off,
+    s2s_merge,
+    stabilizers_containing,
+)
+from repro.deform.instructions import (
+    data_q_rm,
+    syndrome_q_rm,
+    patch_q_rm,
+    patch_q_add_layer,
+)
+from repro.deform.removal import defect_removal, balancing
+from repro.deform.enlargement import adaptive_enlargement
+from repro.deform.unit import CodeDeformationUnit, DeformationReport
+
+__all__ = [
+    "reroute_logical_off",
+    "s2s_merge",
+    "stabilizers_containing",
+    "data_q_rm",
+    "syndrome_q_rm",
+    "patch_q_rm",
+    "patch_q_add_layer",
+    "defect_removal",
+    "balancing",
+    "adaptive_enlargement",
+    "CodeDeformationUnit",
+    "DeformationReport",
+]

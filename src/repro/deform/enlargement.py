@@ -1,0 +1,155 @@
+"""Adaptive Enlargement subroutine — Algorithm 2 of the paper.
+
+After defect removal the code distance may have dropped below the design
+distance.  This subroutine restores it by adding scale layers
+(``PatchQ_ADD``) one at a time, on the side whose prospective layer
+contains the fewest known defects (Algorithm 2's ``min(layer1, layer2)``),
+re-running Defect Removal whenever the rebuilt footprint re-covers known
+defective qubits (fig. 9's irregular-boundary / defective-layer cases).
+
+Enlargement is bounded by ``max_layers_per_side`` so the layout's Δd
+inter-space budget (section VI) is respected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codes.distance import graph_distance
+from repro.deform.instructions import patch_q_add_layer
+from repro.deform.removal import defect_removal
+from repro.surface.lattice import Coord
+from repro.surface.patch import SurfacePatch
+
+__all__ = ["adaptive_enlargement", "EnlargementReport"]
+
+
+@dataclass
+class EnlargementReport:
+    """Outcome of one Adaptive Enlargement pass."""
+
+    layers_added: list[str] = field(default_factory=list)
+    qubits_added: int = 0
+    final_distance: tuple[int, int] = (0, 0)
+    restored: bool = False
+
+
+def _prospective_layer_coords(patch: SurfacePatch, side: str) -> list[Coord]:
+    """Data coordinates a growth on ``side`` would add."""
+    min_x, min_y, max_x, max_y = patch.footprint
+    if side == "e":
+        return [(max_x + 2, y) for y in range(min_y, max_y + 1, 2)]
+    if side == "w":
+        return [(min_x - 2, y) for y in range(min_y, max_y + 1, 2)]
+    if side == "n":
+        return [(x, max_y + 2) for x in range(min_x, max_x + 1, 2)]
+    return [(x, min_y - 2) for x in range(min_x, max_x + 1, 2)]
+
+
+def _pick_side(
+    patch: SurfacePatch,
+    sides: tuple[str, str],
+    budget: dict[str, int],
+    extra_defects: set[Coord],
+) -> str | None:
+    """The growth side with remaining budget and fewest layer defects."""
+    candidates = []
+    for side in sides:
+        if budget.get(side, 0) <= 0:
+            continue
+        layer = _prospective_layer_coords(patch, side)
+        bad = sum(
+            1
+            for q in layer
+            if q in patch.defective_data or q in extra_defects
+        )
+        candidates.append((bad, len(layer), side))
+    if not candidates:
+        return None
+    candidates.sort()
+    return candidates[0][2]
+
+
+def adaptive_enlargement(
+    patch: SurfacePatch,
+    target_dx: int | None = None,
+    target_dz: int | None = None,
+    *,
+    max_layers_per_side: int = 4,
+    extra_defects: set[Coord] | None = None,
+) -> EnlargementReport:
+    """Algorithm 2: restore the code distance by adaptive growth.
+
+    ``target_dx``/``target_dz`` default to the patch's design distance
+    ``d``.  ``extra_defects`` are qubits known to be defective beyond the
+    patch's own memory (e.g. defects already detected in the inter-space
+    the layer will grow into); they are removed after each growth step.
+    ``max_layers_per_side`` is the layout's Δd budget per direction.
+    """
+    target_dx = patch.d if target_dx is None else target_dx
+    target_dz = patch.d if target_dz is None else target_dz
+    extra = set(extra_defects or ())
+
+    report = EnlargementReport()
+    before = patch.physical_qubit_count()
+    dead_sides: set[str] = set()
+
+    for _ in range(4 * max_layers_per_side + 4):
+        dx = graph_distance(patch.code, "X")
+        dz = graph_distance(patch.code, "Z")
+        if dx >= target_dx and dz >= target_dz:
+            report.restored = True
+            break
+        if dz < target_dz:
+            sides = ("e", "w")
+            budget = _budget(report, ("e", "w"), max_layers_per_side)
+        else:
+            sides = ("n", "s")
+            budget = _budget(report, ("n", "s"), max_layers_per_side)
+        for side in dead_sides:
+            budget[side] = 0
+        side = _pick_side(patch, sides, budget, extra)
+        if side is None:
+            break  # Δd budget exhausted in the needed direction
+        snapshot = patch.copy()
+        try:
+            pending = patch_q_add_layer(patch, side)
+            pending_set = set(pending)
+            pending_set |= {q for q in extra if q in patch.code.data_qubits}
+            pending_set |= {a for a in extra if patch.check_at(a) is not None}
+            if pending_set:
+                defect_removal(patch, pending_set, compute_distances=False)
+        except ValueError:
+            # A defect pattern in this layer disconnects the patch (e.g.
+            # a fully-defective column): revert and never grow this way.
+            _restore(patch, snapshot)
+            dead_sides.add(side)
+            continue
+        report.layers_added.append(side)
+
+    report.qubits_added = patch.physical_qubit_count() - before
+    report.final_distance = (
+        graph_distance(patch.code, "X"),
+        graph_distance(patch.code, "Z"),
+    )
+    report.restored = (
+        report.final_distance[0] >= target_dx
+        and report.final_distance[1] >= target_dz
+    )
+    return report
+
+
+def _budget(
+    report: EnlargementReport, sides: tuple[str, str], max_per_side: int
+) -> dict[str, int]:
+    return {
+        side: max_per_side - report.layers_added.count(side) for side in sides
+    }
+
+
+def _restore(patch: SurfacePatch, snapshot: SurfacePatch) -> None:
+    patch.code = snapshot.code
+    patch.origin = snapshot.origin
+    patch.footprint = snapshot.footprint
+    patch.defective_data = snapshot.defective_data
+    patch.defective_ancillas = snapshot.defective_ancillas

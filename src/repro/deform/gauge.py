@@ -1,0 +1,171 @@
+"""Gauge-transformation primitives shared by the deformation instructions.
+
+The paper's four atomic transformations (S2G, G2S, S2S, G2G — section
+II-C) appear here in the operational form the instructions need:
+
+* :func:`s2s_merge` — S2S: replace a set of same-basis stabilizer
+  generators by their product (super-stabilizer formation).
+* :func:`reroute_logical_off` — the Theorem-5 representative change:
+  multiply a logical operator by stabilizer generators so its support
+  avoids a forbidden qubit set.  Every instruction calls this *before*
+  mutating the group, which is exactly the alternative-generator
+  construction used in the appendix proofs.
+
+The S2G/G2S bookkeeping (which measured checks stop or start being
+stabilizer generators) is performed inside the instructions themselves,
+where the lattice context determines the new gauge operators.
+"""
+
+from __future__ import annotations
+
+from repro.codes import StabilizerGenerator, SubsystemCode
+from repro.pauli import PauliOp
+
+__all__ = ["stabilizers_containing", "s2s_merge", "reroute_logical_off"]
+
+
+def stabilizers_containing(
+    code: SubsystemCode, qubit, basis: str
+) -> list[StabilizerGenerator]:
+    """Stabilizer generators of ``basis`` whose support contains ``qubit``."""
+    return [
+        gen
+        for gen in code.stabilizers.values()
+        if gen.basis == basis and qubit in gen.pauli.support
+    ]
+
+
+def s2s_merge(code: SubsystemCode, names: list[str]) -> StabilizerGenerator:
+    """S2S: replace generators ``names`` by their single product generator.
+
+    The product's measurement decomposition is the symmetric difference of
+    the constituents' decompositions (shared checks cancel, matching the
+    Pauli product).  Returns the new generator.
+    """
+    if len(names) < 2:
+        raise ValueError("s2s_merge needs at least two generators")
+    gens = [code.stabilizers[n] for n in names]
+    basis = gens[0].basis
+    if any(g.basis != basis for g in gens):
+        raise ValueError("cannot merge generators of different bases")
+    product = PauliOp.identity()
+    via: set[str] = set()
+    for gen in gens:
+        product = product * gen.pauli
+        via ^= set(gen.measured_via)
+    for name in names:
+        del code.stabilizers[name]
+    new_name = code.fresh_name(f"{basis}super")
+    merged = StabilizerGenerator(
+        pauli=product,
+        basis=basis,
+        name=new_name,
+        measured_via=tuple(sorted(via)),
+    )
+    code.stabilizers[new_name] = merged
+    return merged
+
+
+def reroute_logical_off(code: SubsystemCode, forbidden: set, basis: str) -> None:
+    """Move the tracked ``basis`` logical representative off ``forbidden``.
+
+    Finds (by GF(2) elimination over the same-basis stabilizer
+    generators) a product of stabilizers whose restriction to the
+    forbidden qubits matches the logical's, and multiplies it in.  This
+    is exactly the representative change of Theorem 5 — the logical class
+    is untouched; only its written form moves.
+
+    Raises ``ValueError`` when no rerouting exists (the forbidden set
+    cuts every equivalent representative: the defect pattern has
+    destroyed the logical qubit).
+    """
+    import numpy as np
+
+    from repro.utils import gf2_solve
+
+    logical = code.logical_x if basis == "X" else code.logical_z
+    support = logical.x_support if basis == "X" else logical.z_support
+    overlap = support & forbidden
+    if not overlap:
+        return
+
+    order = code.qubit_order()
+    index = {q: i for i, q in enumerate(order)}
+    h = code.parity_matrix(basis)
+    forbidden_cols = [index[q] for q in sorted(forbidden) if q in index]
+    target = np.zeros(len(forbidden_cols), dtype=np.uint8)
+    for pos, col in enumerate(forbidden_cols):
+        if order[col] in support:
+            target[pos] = 1
+
+    x = gf2_solve(h[:, forbidden_cols], target) if forbidden_cols else None
+    if x is not None:
+        logical_vec = np.zeros(len(order), dtype=np.uint8)
+        for q in support:
+            logical_vec[index[q]] = 1
+        new_vec = (logical_vec + x @ h) % 2
+        new_support = {order[i] for i in np.nonzero(new_vec)[0]}
+    else:
+        # Super-stabilizer merges can make a qubit unreachable by pure
+        # stabilizer multiplication even though an equivalent logical
+        # exists: recompute a representative of the (unique, k = 1)
+        # logical class from scratch, constrained off the forbidden set.
+        new_support = _fresh_logical_avoiding(code, basis, forbidden)
+        if new_support is None:
+            raise ValueError(
+                f"cannot reroute logical {basis} off {sorted(forbidden)}: "
+                "defects disconnect the patch"
+            )
+    rerouted = (
+        PauliOp.x_on(new_support) if basis == "X" else PauliOp.z_on(new_support)
+    )
+    if basis == "X":
+        code.logical_x = rerouted
+    else:
+        code.logical_z = rerouted
+
+
+def _fresh_logical_avoiding(
+    code: SubsystemCode, basis: str, forbidden: set
+) -> set | None:
+    """A ``basis``-logical representative with no support on ``forbidden``.
+
+    Searches the nullspace of the detecting-basis measured operators
+    (restricted to allowed qubits) for a vector outside the same-basis
+    stabilizer/gauge rowspace.  Returns its support set, or ``None`` when
+    every representative of the class must cross ``forbidden``.
+    """
+    import numpy as np
+
+    from repro.utils import gf2_in_rowspace, gf2_nullspace
+
+    detect = "Z" if basis == "X" else "X"
+    order = [q for q in code.qubit_order() if q not in forbidden]
+    if not order:
+        return None
+    index = {q: i for i, q in enumerate(order)}
+
+    detect_ops = code.stabilizer_ops(detect) + code.check_ops(detect)
+    a = np.zeros((len(detect_ops), len(order)), dtype=np.uint8)
+    for r, op in enumerate(detect_ops):
+        sup = op.x_support if detect == "X" else op.z_support
+        for q in sup:
+            if q in index:
+                a[r, index[q]] = 1
+
+    same_ops = code.stabilizer_ops(basis) + code.gauge_ops(basis)
+    b = np.zeros((len(same_ops), len(order)), dtype=np.uint8)
+    for r, op in enumerate(same_ops):
+        sup = op.x_support if basis == "X" else op.z_support
+        for q in sup:
+            if q in index:
+                b[r, index[q]] = 1
+
+    # If every nullspace basis vector is trivial (in the rowspace of b),
+    # every combination is too, so checking the basis suffices.
+    for candidate in gf2_nullspace(a):
+        if not candidate.any():
+            continue
+        if not gf2_in_rowspace(b, candidate):
+            return {order[i] for i in np.nonzero(candidate)[0]}
+    return None

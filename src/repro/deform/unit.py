@@ -1,0 +1,92 @@
+"""The Code Deformation Unit (section V, fig. 5).
+
+Runtime component invoked before every QEC cycle (or whenever the defect
+detector reports new events).  Receives the current surface-code
+configuration (a :class:`~repro.surface.SurfacePatch`) and fresh defect
+information, then executes the two subroutines in order:
+
+1. **Defect Removal** (Algorithm 1) — excise defective qubits.
+2. **Adaptive Enlargement** (Algorithm 2) — restore the design distance
+   within the layout's Δd budget.
+
+The emitted :class:`DeformationReport` is what the execution unit would
+consume to retarget its syndrome-extraction schedule; the paper notes the
+update completes within a single QEC cycle, which holds here because the
+instructions only reconfigure which checks are measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.deform.enlargement import EnlargementReport, adaptive_enlargement
+from repro.deform.removal import RemovalReport, defect_removal
+from repro.surface.lattice import Coord
+from repro.surface.patch import SurfacePatch
+
+__all__ = ["CodeDeformationUnit", "DeformationReport"]
+
+
+@dataclass
+class DeformationReport:
+    """Joint outcome of one removal + enlargement cycle."""
+
+    removal: RemovalReport
+    enlargement: EnlargementReport | None
+    instructions: list[str] = field(default_factory=list)
+
+    @property
+    def final_distance(self) -> tuple[int, int]:
+        if self.enlargement is not None:
+            return self.enlargement.final_distance
+        return self.removal.distance_after
+
+    @property
+    def restored(self) -> bool:
+        """Whether the design distance was fully restored."""
+        if self.enlargement is None:
+            return self.removal.distance_loss == (0, 0)
+        return self.enlargement.restored
+
+
+class CodeDeformationUnit:
+    """Runtime defect-mitigation engine for a single logical patch.
+
+    Args:
+        max_layers_per_side: the layout generator's Δd budget — how many
+            scale layers may be added in each direction before the patch
+            would encroach on the communication channel (section VI).
+        enlarge: when ``False`` the unit degrades to a pure defect-removal
+            policy (the ASC-S-like ablation).
+    """
+
+    def __init__(self, *, max_layers_per_side: int = 4, enlarge: bool = True) -> None:
+        self.max_layers_per_side = max_layers_per_side
+        self.enlarge = enlarge
+
+    def deform(
+        self,
+        patch: SurfacePatch,
+        defects: set[Coord] | list[Coord],
+        *,
+        environment_defects: set[Coord] | None = None,
+    ) -> DeformationReport:
+        """Mitigate ``defects`` on ``patch``.
+
+        ``environment_defects`` are defective physical qubits in the
+        surrounding inter-space (not currently part of the patch); growth
+        into them triggers the fig. 9 defective-layer handling.
+        """
+        removal = defect_removal(patch, defects)
+        instructions = [f"{coord}:{action}" for coord, action in removal.handled]
+        enlargement = None
+        if self.enlarge:
+            enlargement = adaptive_enlargement(
+                patch,
+                max_layers_per_side=self.max_layers_per_side,
+                extra_defects=environment_defects,
+            )
+            instructions += [f"PatchQ_ADD[{side}]" for side in enlargement.layers_added]
+        return DeformationReport(
+            removal=removal, enlargement=enlargement, instructions=instructions
+        )

@@ -1,0 +1,26 @@
+"""Evaluation harnesses: Monte-Carlo LER, retry risk, throughput, yield."""
+
+from repro.eval.montecarlo import (
+    MemoryResult,
+    logical_error_rate,
+    memory_experiment,
+)
+from repro.eval.lambda_model import LambdaModel, calibrate_lambda_model
+from repro.eval.retry import retry_risk
+from repro.eval.yieldrate import yield_rate
+from repro.eval.throughput import ThroughputResult, throughput_experiment
+from repro.eval.endtoend import EndToEndResult, evaluate_program
+
+__all__ = [
+    "MemoryResult",
+    "logical_error_rate",
+    "memory_experiment",
+    "LambdaModel",
+    "calibrate_lambda_model",
+    "retry_risk",
+    "yield_rate",
+    "ThroughputResult",
+    "throughput_experiment",
+    "EndToEndResult",
+    "evaluate_program",
+]

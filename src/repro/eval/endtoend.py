@@ -1,0 +1,157 @@
+"""End-to-end program evaluation (Table II, figs. 12 and 13a).
+
+Combines the compiled program's schedule, the layout, the dynamic defect
+statistics and the per-method defect response into the paper's two
+headline outputs per (program, method, d):
+
+* **physical qubit count** of the laid-out machine, and
+* **retry risk** — the probability at least one logical error corrupts
+  the run — or the ``OverRuntime`` status when blocked channels stall
+  the program beyond the runtime budget (Q3DE's failure mode).
+
+Risk model: the base risk integrates the Λ-model rate at design
+distance over the whole spacetime volume; each defect event adds a
+window of ``duration_cycles`` at the method's degraded effective
+distance.  Surf-Deformer additionally pays its equation-1 budget
+overflow: with probability ``p_block`` an event exceeds the Δd
+inter-space and degrades like removal-only until it heals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.baselines.methods import METHODS, MethodModel
+from repro.compiler import Program
+from repro.defects import CosmicRayModel
+from repro.defects.models import CYCLE_TIME_S
+from repro.eval.lambda_model import LambdaModel
+from repro.layout.generator import LayoutGenerator
+from repro.surgery import estimate_schedule
+
+__all__ = ["EndToEndResult", "evaluate_program"]
+
+
+@dataclass(frozen=True)
+class EndToEndResult:
+    """One row cell of Table II."""
+
+    program: str
+    method: str
+    d: int
+    delta_d: int
+    physical_qubits: int
+    total_cycles: float
+    retry_risk: float
+    over_runtime: bool
+    expected_events: float
+    blocked_path_fraction: float
+
+    @property
+    def status(self) -> str:
+        if self.over_runtime:
+            return "OverRuntime"
+        return f"{100 * self.retry_risk:.2f}%"
+
+
+def _window_risk(rate_per_round: float, cycles: float) -> float:
+    """Failure probability of one degraded window."""
+    p = min(rate_per_round, 0.5)
+    if p <= 0:
+        return 0.0
+    return 1.0 - (1.0 - p) ** cycles
+
+
+def evaluate_program(
+    program: Program,
+    method: str | MethodModel,
+    d: int,
+    *,
+    lambda_model: LambdaModel | None = None,
+    defect_model: CosmicRayModel | None = None,
+    layout_generator: LayoutGenerator | None = None,
+    runtime_budget_factor: float = 2.0,
+    mean_path_cells: float = 3.0,
+) -> EndToEndResult:
+    """Evaluate one (program, method, distance) cell.
+
+    ``runtime_budget_factor`` is the slowdown beyond which the run is
+    declared OverRuntime (blocked channels force re-routing / waiting,
+    stretching the schedule; past this factor the defect-event rate per
+    run compounds faster than progress).  ``mean_path_cells`` is the
+    average number of patches a long-range CNOT's ancilla path borders.
+    """
+    model = METHODS[method] if isinstance(method, str) else method
+    lam = lambda_model or LambdaModel()
+    defects = defect_model or CosmicRayModel()
+    gen = layout_generator or LayoutGenerator(lam, defects)
+
+    delta_d, p_block = gen.choose_delta_d(d)
+    spacing = model.spacing(d, delta_d)
+    spec = gen.generate(
+        program.num_qubits, 1.0, d=d, inter_space=spacing
+    )
+    schedule = estimate_schedule(
+        cx_count=program.cx_count,
+        t_count=program.t_count,
+        num_logical=program.num_qubits,
+        d=d,
+    )
+    cycles = schedule.total_cycles
+
+    # --- defect-event statistics -------------------------------------
+    patch_qubits = 2 * d * d
+    events_per_patch = (
+        defects.event_rate_hz_per_qubit * patch_qubits * cycles * CYCLE_TIME_S
+    )
+    total_events = events_per_patch * program.num_qubits
+    event_cycles = min(defects.duration_cycles, cycles)
+
+    # --- channel blocking / OverRuntime ------------------------------
+    if model.blocks_channels:
+        enlarged_fraction = min(
+            1.0, events_per_patch * event_cycles / max(cycles, 1.0)
+        )
+        p_path_blocked = 1.0 - (1.0 - min(1.0, 4 * enlarged_fraction)) ** mean_path_cells
+    else:
+        p_path_blocked = 0.0
+    slowdown = 1.0 / max(1e-9, 1.0 - p_path_blocked)
+    over_runtime = slowdown > runtime_budget_factor
+
+    # --- retry risk ----------------------------------------------------
+    base_rate = lam.per_round(d)
+    log_ok = program.num_qubits * cycles * math.log1p(-min(base_rate, 0.5))
+
+    if model.name == "surf_deformer":
+        restored_risk = _window_risk(lam.per_round(d), event_cycles)
+        # Equation-1 budget overflow: enlargement absorbed Δd's worth of
+        # loss but the excess (~one defect span beyond budget) remains
+        # until the event heals.
+        overflow_risk = _window_risk(lam.per_round(d - 2), event_cycles)
+        per_event = (1 - p_block) * restored_risk + p_block * overflow_risk
+        # One cycle at removal-only distance while the deformation lands.
+        removal_d = METHODS["asc_s"].effective_distance(d)
+        per_event += _window_risk(lam.per_round(removal_d), 1.0)
+    else:
+        d_eff = model.effective_distance(d)
+        per_event = _window_risk(lam.per_round(d_eff), event_cycles)
+
+    if per_event >= 1.0:
+        log_ok = -math.inf
+    else:
+        log_ok += total_events * math.log1p(-per_event)
+    risk = 1.0 - math.exp(log_ok) if log_ok > -700 else 1.0
+
+    return EndToEndResult(
+        program=program.name,
+        method=model.name,
+        d=d,
+        delta_d=delta_d if model.inter_space == "d+delta" else 0,
+        physical_qubits=spec.physical_qubits(),
+        total_cycles=cycles,
+        retry_risk=risk,
+        over_runtime=over_runtime,
+        expected_events=total_events,
+        blocked_path_fraction=p_path_blocked,
+    )

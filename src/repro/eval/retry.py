@@ -1,0 +1,43 @@
+"""Retry risk — the paper's end-to-end failure metric (section VII-A).
+
+The retry risk is the probability that at least one uncorrectable logical
+error occurs anywhere in the program's spacetime volume, forcing a rerun.
+Given a per-round, per-logical-qubit logical error rate timeline (which
+the end-to-end harness derives from each patch's effective distance under
+the sampled defect events), the risk composes as
+
+    risk = 1 − Π_{q, t} (1 − p_L(q, t)).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["retry_risk", "compose_risk"]
+
+
+def compose_risk(probabilities: Iterable[float]) -> float:
+    """``1 − Π (1 − p_i)`` computed stably in log space."""
+    log_ok = 0.0
+    for p in probabilities:
+        p = min(max(p, 0.0), 1.0)
+        if p >= 1.0:
+            return 1.0
+        log_ok += math.log1p(-p)
+    return 1.0 - math.exp(log_ok)
+
+
+def retry_risk(
+    per_round_rates: Iterable[float],
+    cycles: float,
+) -> float:
+    """Risk of failure when each listed rate acts for ``cycles`` rounds.
+
+    ``per_round_rates`` holds one per-round logical error rate per logical
+    qubit (or per segment); a constant-rate program of ``n`` qubits
+    running ``T`` cycles is ``retry_risk([p] * n, T)``.
+    """
+    return compose_risk(
+        1.0 - (1.0 - min(p, 0.5)) ** cycles for p in per_round_rates
+    )

@@ -1,0 +1,14 @@
+"""Adaptive surface-code layout (section VI)."""
+
+from repro.layout.generator import LayoutGenerator, LayoutSpec, block_probability
+from repro.layout.grid import LogicalLayout
+from repro.layout.routing import Router, RoutingResult
+
+__all__ = [
+    "LayoutGenerator",
+    "LayoutSpec",
+    "block_probability",
+    "LogicalLayout",
+    "Router",
+    "RoutingResult",
+]

@@ -1,0 +1,65 @@
+"""Logical-qubit grid and communication-channel graph.
+
+Logical patches sit on an ``rows × cols`` grid; the inter-space between
+them forms a lattice of routing channels used by lattice-surgery ancilla
+paths.  The channel graph's vertices are the junction points at cell
+corners and its edges the channel segments along each cell border; a
+long-range CNOT occupies a junction-to-junction path for one surgery
+window (≈ d QEC rounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.layout.generator import LayoutSpec
+
+__all__ = ["LogicalLayout"]
+
+
+@dataclass
+class LogicalLayout:
+    """A placed layout with its routing-channel graph.
+
+    ``blocked_cells`` marks logical patches whose enlargement currently
+    spills into the surrounding channel (the Q3DE failure mode); all
+    channel segments bordering a blocked cell become unusable.
+    """
+
+    spec: LayoutSpec
+    blocked_cells: set[tuple[int, int]] = field(default_factory=set)
+
+    def cell_of(self, logical_index: int) -> tuple[int, int]:
+        """Grid cell of logical qubit ``logical_index`` (row-major)."""
+        if not 0 <= logical_index < self.spec.rows * self.spec.cols:
+            raise ValueError(f"logical index {logical_index} out of range")
+        return divmod(logical_index, self.spec.cols)[0], logical_index % self.spec.cols
+
+    def junctions_of(self, cell: tuple[int, int]) -> list[tuple[int, int]]:
+        """The four junction vertices at the corners of ``cell``."""
+        r, c = cell
+        return [(r, c), (r, c + 1), (r + 1, c), (r + 1, c + 1)]
+
+    def channel_graph(self) -> nx.Graph:
+        """Junction graph with segments bordering blocked cells removed."""
+        rows, cols = self.spec.rows, self.spec.cols
+        graph = nx.Graph()
+        for r in range(rows + 1):
+            for c in range(cols + 1):
+                graph.add_node((r, c))
+        for r in range(rows + 1):
+            for c in range(cols + 1):
+                if c + 1 <= cols:
+                    cells = [(r - 1, c), (r, c)]  # cells above/below segment
+                    if not any(cell in self.blocked_cells for cell in cells):
+                        graph.add_edge((r, c), (r, c + 1))
+                if r + 1 <= rows:
+                    cells = [(r, c - 1), (r, c)]  # cells left/right of segment
+                    if not any(cell in self.blocked_cells for cell in cells):
+                        graph.add_edge((r, c), (r + 1, c))
+        return graph
+
+    def physical_qubits(self) -> int:
+        return self.spec.physical_qubits()

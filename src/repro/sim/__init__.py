@@ -1,0 +1,24 @@
+"""Clifford stabilizer-circuit simulation (the Stim substitute).
+
+Pauli-frame sampling is exactly equivalent to full stabilizer simulation
+for sampling detector and observable outcomes of Clifford circuits with
+Pauli noise, which covers every experiment in the paper.
+"""
+
+from repro.sim.circuit import Circuit, GateTarget
+from repro.sim.frame import FrameSampler, sample_detectors
+from repro.sim.dem import DetectorErrorModel, ErrorMechanism, build_dem
+from repro.sim.noise import NoiseModel
+from repro.sim.syndrome import memory_circuit
+
+__all__ = [
+    "Circuit",
+    "GateTarget",
+    "FrameSampler",
+    "sample_detectors",
+    "DetectorErrorModel",
+    "ErrorMechanism",
+    "build_dem",
+    "NoiseModel",
+    "memory_circuit",
+]

@@ -1,0 +1,143 @@
+"""A minimal Clifford circuit IR with Pauli noise and detector annotations.
+
+Supported operations (all the paper's experiments need):
+
+=============== =========================================================
+``H``            Hadamard on each target qubit
+``CX``           CNOTs on (control, target) pairs
+``R`` / ``RX``   reset to ``|0⟩`` / ``|+⟩``
+``M`` / ``MX``   destructive-free measurement in the Z / X basis
+``X_ERROR``      independent X flip with probability ``arg``
+``Z_ERROR``      independent Z flip with probability ``arg``
+``DEPOLARIZE1``  single-qubit depolarizing channel, probability ``arg``
+``DEPOLARIZE2``  two-qubit depolarizing channel on pairs, prob ``arg``
+``DETECTOR``     XOR of absolute measurement indices (deterministic
+                 without noise)
+``OBSERVABLE``   XOR of absolute measurement indices defining a logical
+                 observable
+=============== =========================================================
+
+Qubits are dense integer indices; the syndrome-circuit generator keeps a
+coordinate↔index map.  Measurement indices are absolute (0-based in
+program order), which keeps detector bookkeeping simple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+GateTarget = int
+
+_GATES_1Q = {"H", "R", "RX", "M", "MX", "X_ERROR", "Z_ERROR", "DEPOLARIZE1"}
+_GATES_2Q = {"CX", "DEPOLARIZE2"}
+_ANNOTATIONS = {"DETECTOR", "OBSERVABLE"}
+
+__all__ = ["Circuit", "Instruction", "GateTarget"]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One circuit operation."""
+
+    name: str
+    targets: tuple[int, ...]
+    arg: float = 0.0
+
+
+@dataclass
+class Circuit:
+    """An ordered list of instructions plus measurement bookkeeping."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+    num_qubits: int = 0
+    num_measurements: int = 0
+    num_detectors: int = 0
+    num_observables: int = 0
+
+    def append(self, name: str, targets: Sequence[int], arg: float = 0.0) -> None:
+        """Append an operation, updating counters and validating shape."""
+        targets = tuple(int(t) for t in targets)
+        if name in _GATES_2Q:
+            if len(targets) % 2:
+                raise ValueError(f"{name} needs an even number of targets")
+        elif name not in _GATES_1Q and name not in _ANNOTATIONS:
+            raise ValueError(f"unknown instruction {name!r}")
+        if name in _ANNOTATIONS:
+            for t in targets:
+                if t >= self.num_measurements:
+                    raise ValueError(
+                        f"{name} references measurement {t} before it happens"
+                    )
+        else:
+            self.num_qubits = max(self.num_qubits, max(targets, default=-1) + 1)
+        if name in ("M", "MX"):
+            self.num_measurements += len(targets)
+        if name == "DETECTOR":
+            self.num_detectors += 1
+        if name == "OBSERVABLE":
+            self.num_observables += 1
+        self.instructions.append(Instruction(name, targets, arg))
+
+    # Convenience wrappers keep the syndrome generator readable.
+    def h(self, *qubits: int) -> None:
+        self.append("H", qubits)
+
+    def cx(self, *qubits: int) -> None:
+        self.append("CX", qubits)
+
+    def reset(self, *qubits: int) -> None:
+        self.append("R", qubits)
+
+    def reset_x(self, *qubits: int) -> None:
+        self.append("RX", qubits)
+
+    def measure(self, *qubits: int) -> list[int]:
+        """Z-basis measurement; returns the absolute record indices."""
+        start = self.num_measurements
+        self.append("M", qubits)
+        return list(range(start, start + len(qubits)))
+
+    def measure_x(self, *qubits: int) -> list[int]:
+        start = self.num_measurements
+        self.append("MX", qubits)
+        return list(range(start, start + len(qubits)))
+
+    def x_error(self, p: float, *qubits: int) -> None:
+        if p > 0 and qubits:
+            self.append("X_ERROR", qubits, p)
+
+    def z_error(self, p: float, *qubits: int) -> None:
+        if p > 0 and qubits:
+            self.append("Z_ERROR", qubits, p)
+
+    def depolarize1(self, p: float, *qubits: int) -> None:
+        if p > 0 and qubits:
+            self.append("DEPOLARIZE1", qubits, p)
+
+    def depolarize2(self, p: float, *qubits: int) -> None:
+        if p > 0 and qubits:
+            self.append("DEPOLARIZE2", qubits, p)
+
+    def detector(self, records: Iterable[int]) -> int:
+        """Define a detector over absolute measurement indices."""
+        index = self.num_detectors
+        self.append("DETECTOR", tuple(records))
+        return index
+
+    def observable(self, records: Iterable[int]) -> int:
+        index = self.num_observables
+        self.append("OBSERVABLE", tuple(records))
+        return index
+
+    def noise_instructions(self) -> list[tuple[int, Instruction]]:
+        """(position, instruction) of every stochastic channel."""
+        return [
+            (i, inst)
+            for i, inst in enumerate(self.instructions)
+            if inst.name in ("X_ERROR", "Z_ERROR", "DEPOLARIZE1", "DEPOLARIZE2")
+            and inst.arg > 0
+        ]
+
+    def __len__(self) -> int:
+        return len(self.instructions)

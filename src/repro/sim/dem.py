@@ -1,0 +1,133 @@
+"""Detector error model (DEM) extraction by exhaustive error propagation.
+
+Each stochastic channel in a circuit is expanded into its elementary
+Pauli mechanisms (X/Y/Z components with their probabilities); every
+mechanism is propagated through the rest of the circuit — all of them in
+one vectorised pass — to find which detectors and observables it flips.
+Mechanisms with identical signatures are merged by probability
+combination, yielding the weighted decoding (hyper)graph the MWPM
+decoder consumes.
+
+This mirrors what Stim's ``circuit.detector_error_model()`` does for the
+same class of circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.circuit import Circuit
+
+__all__ = ["ErrorMechanism", "DetectorErrorModel", "build_dem"]
+
+
+@dataclass(frozen=True)
+class ErrorMechanism:
+    """An independent error source in the decoding graph."""
+
+    probability: float
+    detectors: tuple[int, ...]
+    observable_flip: bool
+
+
+@dataclass
+class DetectorErrorModel:
+    """The merged set of error mechanisms of a circuit."""
+
+    mechanisms: list[ErrorMechanism]
+    num_detectors: int
+    num_observables: int
+    dropped_hyperedges: int = 0
+
+    def graphlike(self) -> list[ErrorMechanism]:
+        """Mechanisms touching at most two detectors (matchable edges)."""
+        return [m for m in self.mechanisms if 1 <= len(m.detectors) <= 2]
+
+    def undetectable_logical_rate(self) -> float:
+        """Total probability mass of mechanisms flipping the observable
+        while triggering no detector — irreducible logical errors."""
+        total = 0.0
+        for m in self.mechanisms:
+            if not m.detectors and m.observable_flip:
+                total = total + m.probability - 2 * total * m.probability
+        return total
+
+
+def _expand_channels(circuit: Circuit) -> list[tuple[int, dict[int, str], float]]:
+    """Elementary (position, pauli, probability) mechanisms of a circuit."""
+    mechanisms: list[tuple[int, dict[int, str], float]] = []
+    for pos, inst in circuit.noise_instructions():
+        p = inst.arg
+        if inst.name == "X_ERROR":
+            for q in inst.targets:
+                mechanisms.append((pos, {q: "X"}, p))
+        elif inst.name == "Z_ERROR":
+            for q in inst.targets:
+                mechanisms.append((pos, {q: "Z"}, p))
+        elif inst.name == "DEPOLARIZE1":
+            for q in inst.targets:
+                for letter in "XYZ":
+                    mechanisms.append((pos, {q: letter}, p / 3))
+        elif inst.name == "DEPOLARIZE2":
+            pairs = list(zip(inst.targets[0::2], inst.targets[1::2]))
+            letters = ["I", "X", "Y", "Z"]
+            for a, b in pairs:
+                for la in letters:
+                    for lb in letters:
+                        if la == "I" and lb == "I":
+                            continue
+                        pauli = {}
+                        if la != "I":
+                            pauli[a] = la
+                        if lb != "I":
+                            pauli[b] = lb
+                        mechanisms.append((pos, pauli, p / 15))
+    return mechanisms
+
+
+def build_dem(circuit: Circuit, *, merge: bool = True) -> DetectorErrorModel:
+    """Extract the detector error model of ``circuit``.
+
+    With ``merge=True`` mechanisms with identical (detectors, observable)
+    signatures are combined via ``p ← p₁(1−p₂) + p₂(1−p₁)``.
+    """
+    from repro.sim.frame import FrameSampler
+
+    raw = _expand_channels(circuit)
+    if not raw:
+        return DetectorErrorModel([], circuit.num_detectors, circuit.num_observables)
+
+    sampler = FrameSampler(circuit)
+    injections = [(pos, pauli) for pos, pauli, _ in raw]
+    det_flips, obs_flips = sampler.propagate_mechanisms(injections)
+
+    merged: dict[tuple[tuple[int, ...], bool], float] = {}
+    order: list[tuple[tuple[int, ...], bool]] = []
+    for k, (_, _, p) in enumerate(raw):
+        dets = tuple(np.nonzero(det_flips[k])[0].tolist())
+        obs = bool(obs_flips[k].any())
+        if not dets and not obs:
+            continue
+        key = (dets, obs)
+        if key not in merged:
+            merged[key] = 0.0
+            order.append(key)
+        if merge:
+            prev = merged[key]
+            merged[key] = prev + p - 2 * prev * p
+        else:
+            merged[key] = min(1.0, merged[key] + p)
+
+    mechanisms = [
+        ErrorMechanism(probability=merged[key], detectors=key[0], observable_flip=key[1])
+        for key in order
+    ]
+    dropped = sum(1 for m in mechanisms if len(m.detectors) > 2)
+    return DetectorErrorModel(
+        mechanisms=mechanisms,
+        num_detectors=circuit.num_detectors,
+        num_observables=circuit.num_observables,
+        dropped_hyperedges=dropped,
+    )

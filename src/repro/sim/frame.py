@@ -1,0 +1,171 @@
+"""Vectorised Pauli-frame sampling.
+
+A Pauli frame tracks, per shot, the Pauli difference between the noisy
+run and a noiseless reference run.  For Clifford circuits with Pauli
+noise, propagating the frame through each gate and XORing the frame's
+anticommuting component into every measurement reproduces the exact
+detector/observable statistics of full stabilizer simulation — this is
+the same trick Stim's sampler uses.
+
+Frames for all shots are propagated simultaneously as ``(shots, qubits)``
+uint8 arrays, so the sampler is a handful of numpy XORs per instruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.circuit import Circuit, Instruction
+
+__all__ = ["FrameSampler", "sample_detectors"]
+
+
+class FrameSampler:
+    """Samples detector and observable flips of a noisy Clifford circuit."""
+
+    def __init__(self, circuit: Circuit, *, seed: int | None = None) -> None:
+        self.circuit = circuit
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, shots: int) -> tuple[np.ndarray, np.ndarray]:
+        """Sample ``shots`` runs.
+
+        Returns ``(detectors, observables)`` with shapes
+        ``(shots, num_detectors)`` and ``(shots, num_observables)``; each
+        entry is the XOR of the referenced measurement *flips*, i.e. a 1
+        marks a detection event / logical flip relative to noiseless.
+        """
+        c = self.circuit
+        x = np.zeros((shots, c.num_qubits), dtype=np.uint8)  # X component
+        z = np.zeros((shots, c.num_qubits), dtype=np.uint8)  # Z component
+        records = np.zeros((shots, c.num_measurements), dtype=np.uint8)
+        detectors = np.zeros((shots, c.num_detectors), dtype=np.uint8)
+        observables = np.zeros((shots, c.num_observables), dtype=np.uint8)
+        m_idx = 0
+        d_idx = 0
+        o_idx = 0
+        rng = self._rng
+
+        for inst in c.instructions:
+            name = inst.name
+            t = list(inst.targets)
+            if name == "H":
+                x[:, t], z[:, t] = z[:, t].copy(), x[:, t].copy()
+            elif name == "CX":
+                ctrl, targ = t[0::2], t[1::2]
+                x[:, targ] ^= x[:, ctrl]
+                z[:, ctrl] ^= z[:, targ]
+            elif name == "R" or name == "RX":
+                x[:, t] = 0
+                z[:, t] = 0
+            elif name == "M":
+                n = len(t)
+                records[:, m_idx : m_idx + n] = x[:, t]
+                m_idx += n
+            elif name == "MX":
+                n = len(t)
+                records[:, m_idx : m_idx + n] = z[:, t]
+                m_idx += n
+            elif name == "X_ERROR":
+                flips = rng.random((shots, len(t))) < inst.arg
+                x[:, t] ^= flips.astype(np.uint8)
+            elif name == "Z_ERROR":
+                flips = rng.random((shots, len(t))) < inst.arg
+                z[:, t] ^= flips.astype(np.uint8)
+            elif name == "DEPOLARIZE1":
+                r = rng.random((shots, len(t)))
+                p = inst.arg
+                is_x = (r < p / 3) | ((r >= p / 3) & (r < 2 * p / 3))
+                is_z = (r >= p / 3) & (r < p)
+                x[:, t] ^= is_x.astype(np.uint8)
+                z[:, t] ^= is_z.astype(np.uint8)
+            elif name == "DEPOLARIZE2":
+                a, b = t[0::2], t[1::2]
+                r = rng.random((shots, len(a)))
+                p = inst.arg
+                # Draw one of 15 non-identity two-qubit Paulis uniformly.
+                choice = np.where(r < p, (r / p * 15).astype(np.int64) + 1, 0)
+                pa, pb = choice // 4, choice % 4  # 0=I,1=X,2=Y,3=Z per qubit
+                x[:, a] ^= ((pa == 1) | (pa == 2)).astype(np.uint8)
+                z[:, a] ^= ((pa == 2) | (pa == 3)).astype(np.uint8)
+                x[:, b] ^= ((pb == 1) | (pb == 2)).astype(np.uint8)
+                z[:, b] ^= ((pb == 2) | (pb == 3)).astype(np.uint8)
+            elif name == "DETECTOR":
+                if t:
+                    detectors[:, d_idx] = records[:, t].sum(axis=1) % 2
+                d_idx += 1
+            elif name == "OBSERVABLE":
+                if t:
+                    observables[:, o_idx] = records[:, t].sum(axis=1) % 2
+                o_idx += 1
+            else:  # pragma: no cover - guarded by Circuit.append
+                raise ValueError(f"unknown instruction {name}")
+        return detectors, observables
+
+    def propagate_mechanisms(
+        self, injections: list[tuple[int, dict[int, str]]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Deterministically propagate one Pauli injection per pseudo-shot.
+
+        ``injections[k] = (position, {qubit: 'X'|'Y'|'Z'})`` injects the
+        given Pauli immediately *at* instruction index ``position`` (i.e.
+        before the instruction at that index executes) in pseudo-shot
+        ``k``, with all stochastic channels disabled.  Returns the flipped
+        detectors/observables per pseudo-shot — the rows of the detector
+        error model.
+        """
+        c = self.circuit
+        shots = len(injections)
+        x = np.zeros((shots, c.num_qubits), dtype=np.uint8)
+        z = np.zeros((shots, c.num_qubits), dtype=np.uint8)
+        records = np.zeros((shots, c.num_measurements), dtype=np.uint8)
+        detectors = np.zeros((shots, c.num_detectors), dtype=np.uint8)
+        observables = np.zeros((shots, c.num_observables), dtype=np.uint8)
+        by_position: dict[int, list[tuple[int, dict[int, str]]]] = {}
+        for k, (pos, pauli) in enumerate(injections):
+            by_position.setdefault(pos, []).append((k, pauli))
+        m_idx = d_idx = o_idx = 0
+
+        for i, inst in enumerate(c.instructions):
+            for k, pauli in by_position.get(i, ()):
+                for q, letter in pauli.items():
+                    if letter in ("X", "Y"):
+                        x[k, q] ^= 1
+                    if letter in ("Z", "Y"):
+                        z[k, q] ^= 1
+            name = inst.name
+            t = list(inst.targets)
+            if name == "H":
+                x[:, t], z[:, t] = z[:, t].copy(), x[:, t].copy()
+            elif name == "CX":
+                ctrl, targ = t[0::2], t[1::2]
+                x[:, targ] ^= x[:, ctrl]
+                z[:, ctrl] ^= z[:, targ]
+            elif name in ("R", "RX"):
+                x[:, t] = 0
+                z[:, t] = 0
+            elif name == "M":
+                n = len(t)
+                records[:, m_idx : m_idx + n] = x[:, t]
+                m_idx += n
+            elif name == "MX":
+                n = len(t)
+                records[:, m_idx : m_idx + n] = z[:, t]
+                m_idx += n
+            elif name == "DETECTOR":
+                if t:
+                    detectors[:, d_idx] = records[:, t].sum(axis=1) % 2
+                d_idx += 1
+            elif name == "OBSERVABLE":
+                if t:
+                    observables[:, o_idx] = records[:, t].sum(axis=1) % 2
+                o_idx += 1
+            # Stochastic channels: disabled during propagation.
+        return detectors, observables
+
+
+def sample_detectors(
+    circuit: Circuit, shots: int, *, seed: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-call convenience wrapper around :class:`FrameSampler`."""
+    return FrameSampler(circuit, seed=seed).sample(shots)

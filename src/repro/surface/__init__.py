@@ -1,0 +1,29 @@
+"""Rotated surface code patches on a 2D lattice (section II-A)."""
+
+from repro.surface.lattice import (
+    face_neighbors,
+    face_type,
+    is_data_coord,
+    is_face_coord,
+    data_coords,
+    face_coords,
+)
+from repro.surface.patch import (
+    SurfacePatch,
+    rotated_surface_code,
+    rotated_rect_patch,
+    check_name,
+)
+
+__all__ = [
+    "SurfacePatch",
+    "rotated_surface_code",
+    "rotated_rect_patch",
+    "check_name",
+    "face_neighbors",
+    "face_type",
+    "is_data_coord",
+    "is_face_coord",
+    "data_coords",
+    "face_coords",
+]

@@ -1,0 +1,92 @@
+"""Lattice geometry for rotated surface codes.
+
+Doubled-coordinate convention (matching Stim's generated circuits):
+
+* data qubits sit at odd-odd coordinates ``(2i+1, 2j+1)``,
+* check (syndrome) ancillas sit at even-even *face* coordinates
+  ``(2a, 2b)``,
+* a face at ``(2a, 2b)`` touches the (up to four) data qubits at
+  ``(2a±1, 2b±1)``.
+
+For a distance-``d`` patch with origin ``(0, 0)`` the data qubits span
+``x, y ∈ {1, 3, …, 2d−1}``.  The checkerboard colouring assigns a face
+index ``(a, b)`` type ``X`` when ``a+b`` is odd and ``Z`` when even.
+X-type half-checks live on the north/south boundaries (``b = 0, d``) and
+Z-type on the west/east (``a = 0, d``), so:
+
+* the **Z logical** is a horizontal row (terminates on west/east), and
+* the **X logical** is a vertical column (terminates on north/south).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+Coord = tuple[int, int]
+
+__all__ = [
+    "face_neighbors",
+    "face_type",
+    "is_data_coord",
+    "is_face_coord",
+    "data_coords",
+    "face_coords",
+]
+
+
+def is_data_coord(coord: Coord) -> bool:
+    """Whether ``coord`` is an odd-odd (data qubit) lattice site."""
+    x, y = coord
+    return x % 2 == 1 and y % 2 == 1
+
+
+def is_face_coord(coord: Coord) -> bool:
+    """Whether ``coord`` is an even-even (face / ancilla) lattice site."""
+    x, y = coord
+    return x % 2 == 0 and y % 2 == 0
+
+
+def face_type(coord: Coord) -> str:
+    """CSS type of the face at even-even ``coord``: ``"X"`` or ``"Z"``."""
+    if not is_face_coord(coord):
+        raise ValueError(f"{coord} is not a face coordinate")
+    a, b = coord[0] // 2, coord[1] // 2
+    return "X" if (a + b) % 2 == 1 else "Z"
+
+
+def face_neighbors(coord: Coord) -> list[Coord]:
+    """The four diagonal data-qubit sites around a face (unclipped)."""
+    x, y = coord
+    return [(x - 1, y - 1), (x - 1, y + 1), (x + 1, y - 1), (x + 1, y + 1)]
+
+
+def data_coords(d: int, origin: Coord = (0, 0)) -> Iterator[Coord]:
+    """All data-qubit coordinates of a distance-``d`` patch at ``origin``."""
+    ox, oy = origin
+    for i in range(d):
+        for j in range(d):
+            yield (ox + 2 * i + 1, oy + 2 * j + 1)
+
+
+def face_coords(d: int, origin: Coord = (0, 0)) -> Iterator[Coord]:
+    """Face coordinates of the checks used by a distance-``d`` patch.
+
+    Yields interior faces plus the boundary half-check faces selected by
+    the north/south-X, west/east-Z convention.
+    """
+    ox, oy = origin
+    for a in range(d + 1):
+        for b in range(d + 1):
+            interior = 0 < a < d and 0 < b < d
+            ftype_is_x = (a + b) % 2 == 1
+            if interior:
+                yield (ox + 2 * a, oy + 2 * b)
+            elif (b == 0 or b == d) and 0 < a < d and ftype_is_x:
+                yield (ox + 2 * a, oy + 2 * b)
+            elif (a == 0 or a == d) and 0 < b < d and not ftype_is_x:
+                yield (ox + 2 * a, oy + 2 * b)
+
+
+def clipped_face_neighbors(coord: Coord, data: set[Coord]) -> list[Coord]:
+    """Face neighbours restricted to an existing data-qubit set."""
+    return [q for q in face_neighbors(coord) if q in data]

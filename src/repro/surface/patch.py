@@ -1,0 +1,254 @@
+"""Surface code patch construction and geometric bookkeeping.
+
+A :class:`SurfacePatch` couples a :class:`~repro.codes.SubsystemCode`
+with the lattice geometry the deformation instructions reason about:
+which qubits are interior / boundary / corner, which side of the patch a
+boundary qubit lies on, and which qubits have been removed so far.
+"""
+
+from __future__ import annotations
+
+from repro.codes import Check, StabilizerGenerator, SubsystemCode
+from repro.pauli import PauliOp
+from repro.surface.lattice import (
+    Coord,
+    face_coords,
+    face_neighbors,
+    face_type,
+    is_data_coord,
+    is_face_coord,
+)
+
+__all__ = ["SurfacePatch", "rotated_surface_code", "check_name"]
+
+
+def check_name(basis: str, coord: Coord) -> str:
+    """Canonical check name for a face: e.g. ``"X:4,2"``."""
+    return f"{basis}:{coord[0]},{coord[1]}"
+
+
+def rotated_surface_code(d: int, origin: Coord = (0, 0)) -> "SurfacePatch":
+    """Build a distance-``d`` rotated surface code patch.
+
+    ``origin`` must have both coordinates even; a ``(0, 0)``-style origin
+    with both coordinates ≡ 0 (mod 4) keeps the conventional colouring.
+    """
+    return rotated_rect_patch(d, d, origin, target_d=d)
+
+
+def rotated_rect_patch(
+    width: int, height: int, origin: Coord = (0, 0), *, target_d: int | None = None
+) -> "SurfacePatch":
+    """Build a ``width × height`` rotated surface code rectangle.
+
+    The Z-distance equals ``width`` (west–east extent) and the X-distance
+    ``height``.  Boundary half-checks follow the global convention:
+    X-type on the north/south rims, Z-type on the west/east rims, with
+    face types taken from the absolute checkerboard colouring so that
+    patches built at different (even) origins tile consistently.
+    """
+    if width < 2 or height < 2:
+        raise ValueError("patch extents must be >= 2")
+    ox, oy = origin
+    if ox % 2 or oy % 2:
+        raise ValueError("patch origin coordinates must be even")
+
+    data = {
+        (ox + 2 * i + 1, oy + 2 * j + 1)
+        for i in range(width)
+        for j in range(height)
+    }
+    min_x, max_x = ox + 1, ox + 2 * width - 1
+    min_y, max_y = oy + 1, oy + 2 * height - 1
+
+    faces: list[Coord] = []
+    for fx in range(ox, ox + 2 * width + 1, 2):
+        for fy in range(oy, oy + 2 * height + 1, 2):
+            support = [q for q in face_neighbors((fx, fy)) if q in data]
+            if len(support) == 4:
+                faces.append((fx, fy))
+            elif len(support) == 2:
+                basis = face_type((fx, fy))
+                on_ns = fy in (oy, oy + 2 * height)
+                on_we = fx in (ox, ox + 2 * width)
+                if on_ns and not on_we and basis == "X":
+                    faces.append((fx, fy))
+                elif on_we and not on_ns and basis == "Z":
+                    faces.append((fx, fy))
+
+    checks: list[Check] = []
+    stabilizers: list[StabilizerGenerator] = []
+    for face in faces:
+        basis = face_type(face)
+        support = [q for q in face_neighbors(face) if q in data]
+        pauli = PauliOp.x_on(support) if basis == "X" else PauliOp.z_on(support)
+        name = check_name(basis, face)
+        checks.append(Check(pauli=pauli, basis=basis, name=name, ancilla=face))
+        stabilizers.append(
+            StabilizerGenerator(pauli=pauli, basis=basis, name=name, measured_via=(name,))
+        )
+
+    logical_z = PauliOp.z_on([(x, min_y) for x in range(min_x, max_x + 1, 2)])
+    logical_x = PauliOp.x_on([(min_x, y) for y in range(min_y, max_y + 1, 2)])
+
+    code = SubsystemCode(
+        data_qubits=data,
+        stabilizers=stabilizers,
+        checks=checks,
+        logical_x=logical_x,
+        logical_z=logical_z,
+    )
+    return SurfacePatch(
+        code=code, d=target_d if target_d is not None else min(width, height),
+        origin=origin,
+    )
+
+
+class SurfacePatch:
+    """A surface code patch with geometric classification helpers.
+
+    Attributes:
+        code: the underlying subsystem code (mutated by deformations).
+        d: the patch's *target* code distance (original design distance).
+        origin: lattice origin of the patch.
+        defective_data: persistent memory of known-bad data positions
+            (whether or not currently inside the patch footprint).
+        defective_ancillas: persistent memory of known-bad face positions.
+    """
+
+    def __init__(self, code: SubsystemCode, d: int, origin: Coord) -> None:
+        self.code = code
+        self.d = d
+        self.origin = origin
+        self.defective_data: set[Coord] = set()
+        self.defective_ancillas: set[Coord] = set()
+        # Design footprint over data coordinates; grows monotonically with
+        # PatchQ_ADD so defect removal inside a layer cannot shrink it.
+        self.footprint: tuple[int, int, int, int] = self.bounds()
+
+    def copy(self) -> "SurfacePatch":
+        """Independent copy (used by balancing trials)."""
+        clone = SurfacePatch(code=self.code.copy(), d=self.d, origin=self.origin)
+        clone.defective_data = set(self.defective_data)
+        clone.defective_ancillas = set(self.defective_ancillas)
+        clone.footprint = self.footprint
+        return clone
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def bounds(self) -> tuple[int, int, int, int]:
+        """``(min_x, min_y, max_x, max_y)`` over active data qubits."""
+        xs = [q[0] for q in self.code.data_qubits]
+        ys = [q[1] for q in self.code.data_qubits]
+        return min(xs), min(ys), max(xs), max(ys)
+
+    def ancilla_coords(self) -> set[Coord]:
+        """Face coordinates of all ancillas currently in use."""
+        return {
+            c.ancilla for c in self.code.checks.values() if c.ancilla is not None
+        }
+
+    def all_qubit_coords(self) -> set[Coord]:
+        """Active data plus ancilla coordinates (physical qubit footprint)."""
+        return set(self.code.data_qubits) | self.ancilla_coords()
+
+    def physical_qubit_count(self) -> int:
+        """Total physical qubits (data + ancilla) the patch occupies."""
+        return len(self.all_qubit_coords())
+
+    # ------------------------------------------------------------------
+    # Classification (inputs to Algorithm 1)
+    # ------------------------------------------------------------------
+    def data_sides(self, coord: Coord) -> set[str]:
+        """Boundary sides (``n/s/w/e``) that an active data qubit lies on.
+
+        Empty set ⇒ interior.  Two sides ⇒ corner.  Classification is
+        against the current bounding box, which tracks boundary
+        deformation as qubits are removed or added.
+        """
+        min_x, min_y, max_x, max_y = self.bounds()
+        sides = set()
+        x, y = coord
+        if x == min_x:
+            sides.add("w")
+        if x == max_x:
+            sides.add("e")
+        if y == min_y:
+            sides.add("s")
+        if y == max_y:
+            sides.add("n")
+        return sides
+
+    def classify(self, coord: Coord) -> tuple[str, str]:
+        """``(kind, region)`` of a defective physical qubit.
+
+        ``kind`` is ``"data"`` or ``"syndrome"``; ``region`` is
+        ``"interior"``, ``"edge_x"`` (north/south, X half-check edges),
+        ``"edge_z"`` (west/east) or ``"corner"``.
+        """
+        if is_data_coord(coord):
+            if coord not in self.code.data_qubits:
+                raise ValueError(f"{coord} is not an active data qubit")
+            sides = self.data_sides(coord)
+            return "data", _region_from_sides(sides)
+        if is_face_coord(coord):
+            weight = self._ancilla_check_weight(coord)
+            if weight is None:
+                raise ValueError(f"{coord} is not an active ancilla")
+            region = "interior" if weight >= 4 else self._boundary_face_region(coord)
+            return "syndrome", region
+        raise ValueError(f"{coord} is not a lattice qubit coordinate")
+
+    def _ancilla_check_weight(self, coord: Coord) -> int | None:
+        for check in self.code.checks.values():
+            if check.ancilla == coord:
+                return check.pauli.weight
+        return None
+
+    def _boundary_face_region(self, coord: Coord) -> str:
+        basis = face_type(coord)
+        return "edge_x" if basis == "X" else "edge_z"
+
+    def check_at(self, coord: Coord) -> Check | None:
+        """The check whose ancilla sits at ``coord``, if any."""
+        for check in self.code.checks.values():
+            if check.ancilla == coord:
+                return check
+        return None
+
+    def checks_on(self, coord: Coord, basis: str | None = None) -> list[Check]:
+        """Checks whose support contains the data qubit ``coord``."""
+        result = []
+        for check in self.code.checks.values():
+            if basis is not None and check.basis != basis:
+                continue
+            if coord in check.pauli.support:
+                result.append(check)
+        return result
+
+    def stabilizers_on(self, coord: Coord, basis: str | None = None):
+        """Stabilizer generators whose support contains ``coord``."""
+        result = []
+        for gen in self.code.stabilizers.values():
+            if basis is not None and gen.basis != basis:
+                continue
+            if coord in gen.pauli.support:
+                result.append(gen)
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"SurfacePatch(d={self.d}, origin={self.origin}, "
+            f"n_data={len(self.code.data_qubits)}, "
+            f"defective={len(self.defective_data)})"
+        )
+
+
+def _region_from_sides(sides: set[str]) -> str:
+    if not sides:
+        return "interior"
+    if len(sides) >= 2:
+        return "corner"
+    side = next(iter(sides))
+    return "edge_x" if side in ("n", "s") else "edge_z"

@@ -1,0 +1,22 @@
+"""Lattice-surgery logical operations and magic-state resources (section II-D)."""
+
+from repro.surgery.ops import (
+    SurgeryOp,
+    merge_patches,
+    split_patch,
+    cnot_via_ancilla,
+    SURGERY_WINDOW_ROUNDS,
+)
+from repro.surgery.magic import TFactory
+from repro.surgery.schedule import ScheduleEstimate, estimate_schedule
+
+__all__ = [
+    "SurgeryOp",
+    "merge_patches",
+    "split_patch",
+    "cnot_via_ancilla",
+    "SURGERY_WINDOW_ROUNDS",
+    "TFactory",
+    "ScheduleEstimate",
+    "estimate_schedule",
+]

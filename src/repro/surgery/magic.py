@@ -1,0 +1,42 @@
+"""Magic-state (T) factories for logical T gates (section VII-A).
+
+Logical T gates consume magic states produced by 15-to-1 distillation
+factories [Fowler & Gidney].  For schedule estimation only the
+factory's footprint and production rate matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TFactory"]
+
+
+@dataclass(frozen=True)
+class TFactory:
+    """A 15-to-1 distillation factory model.
+
+    Attributes:
+        d: code distance of the factory's inner patches.
+        logical_footprint: logical-qubit slots the factory occupies
+            (Litinski-style block: ≈ 11 tiles).
+        rounds_per_state: QEC rounds to distill one magic state
+            (≈ 6 d for a pipelined 15-to-1 block).
+    """
+
+    d: int
+    logical_footprint: int = 11
+    rounds_per_state_factor: float = 6.0
+
+    @property
+    def rounds_per_state(self) -> float:
+        return self.rounds_per_state_factor * self.d
+
+    def states_per_round(self) -> float:
+        return 1.0 / self.rounds_per_state
+
+    def rounds_for(self, t_count: float, num_factories: int = 1) -> float:
+        """QEC rounds to produce ``t_count`` magic states."""
+        if t_count <= 0:
+            return 0.0
+        return t_count * self.rounds_per_state / max(1, num_factories)

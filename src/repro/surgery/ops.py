@@ -1,0 +1,117 @@
+"""Lattice surgery primitives: merge, split, and routed CNOT (fig. 4).
+
+``merge_patches`` really performs the code-level merge: two patches and
+the ancilla region between them become one code by activating the seam
+checks — implemented with the same rectangle-rebuild machinery as
+``PatchQ_ADD``, which is exactly the paper's observation that lattice
+surgery and code deformation are both gauge fixing.  ``split_patch``
+reverses it.  ``cnot_via_ancilla`` models the two-window measurement
+sequence (Z⊗Z then X⊗X with an ancilla) of a long-range CNOT.
+
+Each merge/split window must run for ``SURGERY_WINDOW_ROUNDS(d) = d``
+QEC rounds to be fault tolerant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.surface.lattice import Coord
+from repro.surface.patch import SurfacePatch, rotated_rect_patch
+
+__all__ = [
+    "SurgeryOp",
+    "merge_patches",
+    "split_patch",
+    "cnot_via_ancilla",
+    "SURGERY_WINDOW_ROUNDS",
+]
+
+
+def SURGERY_WINDOW_ROUNDS(d: int) -> int:
+    """QEC rounds one merge/split window lasts (= d for fault tolerance)."""
+    return d
+
+
+@dataclass(frozen=True)
+class SurgeryOp:
+    """One scheduled lattice-surgery operation."""
+
+    kind: str  # "merge" | "split" | "cnot"
+    operands: tuple
+    rounds: int
+
+
+def merge_patches(a: SurfacePatch, b: SurfacePatch) -> SurfacePatch:
+    """Merge two horizontally adjacent patches into one code.
+
+    The patches must share the same vertical extent and be separated by
+    an odd number of data columns (the ancilla region).  The merged code
+    spans the union rectangle; any defective qubits recorded on either
+    patch are inherited (and must be re-removed by the caller if inside).
+    """
+    ax0, ay0, ax1, ay1 = a.footprint
+    bx0, by0, bx1, by1 = b.footprint
+    if (ay0, ay1) != (by0, by1):
+        raise ValueError("merge requires equal vertical extents")
+    if ax0 > bx0:
+        a, b = b, a
+        ax0, ay0, ax1, ay1, bx0, by0, bx1, by1 = (
+            bx0,
+            by0,
+            bx1,
+            by1,
+            ax0,
+            ay0,
+            ax1,
+            ay1,
+        )
+    if ax1 >= bx0:
+        raise ValueError("patches overlap")
+    width = (bx1 - ax0) // 2 + 1
+    height = (ay1 - ay0) // 2 + 1
+    merged = rotated_rect_patch(width, height, (ax0 - 1, ay0 - 1), target_d=a.d)
+    merged.defective_data = a.defective_data | b.defective_data
+    merged.defective_ancillas = a.defective_ancillas | b.defective_ancillas
+    return merged
+
+
+def split_patch(
+    patch: SurfacePatch, left_width: int
+) -> tuple[SurfacePatch, SurfacePatch]:
+    """Split a merged patch back into two (west part of ``left_width``
+    data columns, the rest — minus one separator column — as the east
+    part)."""
+    x0, y0, x1, y1 = patch.footprint
+    total_width = (x1 - x0) // 2 + 1
+    if not 2 <= left_width <= total_width - 3:
+        raise ValueError("left_width leaves no room for separator + right patch")
+    height = (y1 - y0) // 2 + 1
+    left = rotated_rect_patch(left_width, height, (x0 - 1, y0 - 1), target_d=patch.d)
+    right_origin_x = x0 + 2 * (left_width + 1) - 1
+    right = rotated_rect_patch(
+        total_width - left_width - 1,
+        height,
+        (right_origin_x, y0 - 1),
+        target_d=patch.d,
+    )
+    for part in (left, right):
+        part.defective_data = set(patch.defective_data)
+        part.defective_ancillas = set(patch.defective_ancillas)
+    return left, right
+
+
+def cnot_via_ancilla(d: int, path_length: int) -> list[SurgeryOp]:
+    """The op sequence of a long-range CNOT through an ancilla path.
+
+    Two measurement windows (Z⊗Z merge on the control side, X⊗X on the
+    target side, fig. 4b) regardless of path length — the ancilla patch
+    just stretches; ``path_length`` only matters for routing conflicts.
+    """
+    window = SURGERY_WINDOW_ROUNDS(d)
+    return [
+        SurgeryOp(kind="merge", operands=("control", "ancilla", path_length), rounds=window),
+        SurgeryOp(kind="split", operands=("ancilla",), rounds=window),
+        SurgeryOp(kind="merge", operands=("ancilla", "target", path_length), rounds=window),
+        SurgeryOp(kind="split", operands=("ancilla",), rounds=window),
+    ]

@@ -1,0 +1,67 @@
+"""Program schedule estimation on a lattice-surgery layout.
+
+Converts a compiled program's logical gate counts into a QEC-cycle
+runtime: CNOTs run in parallel waves limited by channel capacity, T
+gates are limited by magic-state production, and every surgery window
+lasts d rounds.  This is the space-time accounting the paper's Table II
+"runtime" and retry-risk numbers rest on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.surgery.magic import TFactory
+from repro.surgery.ops import SURGERY_WINDOW_ROUNDS
+
+__all__ = ["ScheduleEstimate", "estimate_schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduleEstimate:
+    """Runtime breakdown of a program on a layout."""
+
+    cnot_windows: float
+    t_windows: float
+    total_cycles: float
+    parallel_capacity: float
+
+    @property
+    def total_windows(self) -> float:
+        return self.cnot_windows + self.t_windows
+
+
+def estimate_schedule(
+    *,
+    cx_count: float,
+    t_count: float,
+    num_logical: int,
+    d: int,
+    channel_capacity_fraction: float = 0.5,
+    num_factories: int | None = None,
+) -> ScheduleEstimate:
+    """Estimate a program's runtime in QEC cycles.
+
+    ``channel_capacity_fraction`` is the fraction of logical qubits that
+    can be involved in concurrently routed CNOTs per window (an
+    uncongested grid layout keeps about half its qubits busy).  Each T
+    gate needs a magic state plus one CNOT window for injection;
+    factories default to ~N/2, the throughput-oriented provisioning the
+    paper's T-heavy workloads (10⁸–10⁹ T gates) imply.
+    """
+    window = SURGERY_WINDOW_ROUNDS(d)
+    capacity = max(1.0, channel_capacity_fraction * num_logical / 2.0)
+    cnot_windows = cx_count / capacity
+    if num_factories is None:
+        num_factories = max(1, num_logical // 2)
+    factory = TFactory(d=d)
+    t_production_rounds = factory.rounds_for(t_count, num_factories)
+    t_injection_windows = t_count / capacity
+    t_windows = max(t_production_rounds / window, t_injection_windows)
+    total = (cnot_windows + t_windows) * window
+    return ScheduleEstimate(
+        cnot_windows=cnot_windows,
+        t_windows=t_windows,
+        total_cycles=total,
+        parallel_capacity=capacity,
+    )

@@ -1,0 +1,165 @@
+"""Dense linear algebra over GF(2).
+
+All matrices are ``numpy`` arrays of dtype ``uint8`` whose entries are 0/1.
+Rows are vectors; a matrix with shape ``(m, n)`` holds ``m`` vectors of
+length ``n``.  These routines back the stabilizer-code analysis in
+:mod:`repro.codes` (rank counting, logical-operator extraction, membership
+tests for stabilizer groups).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gf2_gaussian_elimination",
+    "gf2_rank",
+    "gf2_nullspace",
+    "gf2_solve",
+    "gf2_in_rowspace",
+    "gf2_row_reduce",
+    "gf2_independent_rows",
+]
+
+
+def _as_gf2(matrix: np.ndarray) -> np.ndarray:
+    arr = np.asarray(matrix, dtype=np.uint8) % 2
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    return arr
+
+
+def gf2_gaussian_elimination(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """Row-echelon form of ``matrix`` over GF(2).
+
+    Returns ``(echelon, pivot_columns)``.  The input is not modified.
+    """
+    a = _as_gf2(matrix).copy()
+    rows, cols = a.shape
+    pivot_cols: list[int] = []
+    r = 0
+    for c in range(cols):
+        if r >= rows:
+            break
+        pivot = None
+        for i in range(r, rows):
+            if a[i, c]:
+                pivot = i
+                break
+        if pivot is None:
+            continue
+        if pivot != r:
+            a[[r, pivot]] = a[[pivot, r]]
+        below = np.nonzero(a[r + 1 :, c])[0]
+        if below.size:
+            a[below + r + 1] ^= a[r]
+        pivot_cols.append(c)
+        r += 1
+    return a, pivot_cols
+
+
+def gf2_row_reduce(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """Reduced row-echelon form (RREF) of ``matrix`` over GF(2)."""
+    a, pivot_cols = gf2_gaussian_elimination(matrix)
+    for r, c in enumerate(pivot_cols):
+        above = np.nonzero(a[:r, c])[0]
+        if above.size:
+            a[above] ^= a[r]
+    return a, pivot_cols
+
+
+def gf2_rank(matrix: np.ndarray) -> int:
+    """Rank of ``matrix`` over GF(2)."""
+    if np.asarray(matrix).size == 0:
+        return 0
+    _, pivots = gf2_gaussian_elimination(matrix)
+    return len(pivots)
+
+
+def gf2_nullspace(matrix: np.ndarray) -> np.ndarray:
+    """Basis for the right nullspace ``{v : M v = 0}`` over GF(2).
+
+    Returns a matrix whose rows are basis vectors (possibly zero rows
+    omitted; an empty nullspace yields shape ``(0, n)``).
+    """
+    a = _as_gf2(matrix)
+    rows, cols = a.shape
+    rref, pivots = gf2_row_reduce(a)
+    pivot_set = set(pivots)
+    free_cols = [c for c in range(cols) if c not in pivot_set]
+    basis = np.zeros((len(free_cols), cols), dtype=np.uint8)
+    for i, free in enumerate(free_cols):
+        basis[i, free] = 1
+        for r, p in enumerate(pivots):
+            if rref[r, free]:
+                basis[i, p] = 1
+    return basis
+
+
+def gf2_solve(matrix: np.ndarray, target: np.ndarray) -> np.ndarray | None:
+    """Solve ``x @ matrix == target`` over GF(2) for a row-combination ``x``.
+
+    ``matrix`` has shape ``(m, n)``; ``target`` has length ``n``.  Returns a
+    length-``m`` 0/1 vector selecting rows whose XOR equals ``target``, or
+    ``None`` when ``target`` is not in the rowspace.
+    """
+    a = _as_gf2(matrix)
+    t = np.asarray(target, dtype=np.uint8).reshape(-1) % 2
+    m, n = a.shape
+    if t.shape[0] != n:
+        raise ValueError(f"target length {t.shape[0]} != matrix columns {n}")
+    # Augment with an identity to track the row combination.
+    aug = np.concatenate([a, np.eye(m, dtype=np.uint8)], axis=1)
+    work = np.concatenate([t, np.zeros(m, dtype=np.uint8)])
+    r = 0
+    for c in range(n):
+        pivot = None
+        for i in range(r, m):
+            if aug[i, c]:
+                pivot = i
+                break
+        if pivot is None:
+            continue
+        if pivot != r:
+            aug[[r, pivot]] = aug[[pivot, r]]
+        for i in range(m):
+            if i != r and aug[i, c]:
+                aug[i] ^= aug[r]
+        if work[c]:
+            work ^= aug[r]
+        r += 1
+    if work[:n].any():
+        return None
+    return work[n:]
+
+
+def gf2_in_rowspace(matrix: np.ndarray, vector: np.ndarray) -> bool:
+    """Whether ``vector`` lies in the GF(2) rowspace of ``matrix``."""
+    a = _as_gf2(matrix)
+    if a.size == 0:
+        return not np.asarray(vector, dtype=np.uint8).any()
+    return gf2_solve(a, vector) is not None
+
+
+def gf2_independent_rows(matrix: np.ndarray) -> list[int]:
+    """Indices of a maximal linearly-independent subset of rows.
+
+    Greedy from the top: a row is kept iff it is independent of the rows
+    kept before it, so the result is stable for callers that put preferred
+    generators first.
+    """
+    a = _as_gf2(matrix)
+    kept: list[int] = []
+    basis: list[np.ndarray] = []
+    for i in range(a.shape[0]):
+        candidate = a[i].copy()
+        for b in basis:
+            lead = int(np.argmax(b))
+            if candidate[lead]:
+                candidate ^= b
+        if candidate.any():
+            # Re-reduce into echelon order for subsequent eliminations.
+            basis.append(candidate)
+            basis.sort(key=lambda row: int(np.argmax(row)))
+            kept.append(i)
+    return kept

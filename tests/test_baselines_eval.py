@@ -1,0 +1,185 @@
+"""Tests for baselines (ASC-S, Q3DE) and the evaluation harnesses."""
+
+import pytest
+
+from repro.baselines import METHODS, asc_defect_removal, q3de_enlarge
+from repro.codes import check_code, code_distance
+from repro.compiler import paper_benchmark
+from repro.deform import defect_removal
+from repro.eval import evaluate_program, retry_risk, yield_rate
+from repro.eval.lambda_model import LambdaModel
+from repro.eval.retry import compose_risk
+from repro.surface import rotated_surface_code
+
+
+class TestASC:
+    def test_syndrome_defect_removes_neighbours(self):
+        patch = rotated_surface_code(5)
+        asc_defect_removal(patch, [(4, 6)])
+        check_code(patch.code)
+        # All four data neighbours removed (fig. 7a).
+        assert patch.code.n == 21
+        assert code_distance(patch.code) == (3, 3)
+
+    def test_surf_deformer_beats_asc_on_syndrome_defect(self):
+        from repro.deform import syndrome_q_rm
+
+        asc = rotated_surface_code(5)
+        asc_defect_removal(asc, [(4, 6)])
+        ours = rotated_surface_code(5)
+        syndrome_q_rm(ours, (4, 6))
+        assert min(code_distance(ours.code)) >= min(code_distance(asc.code))
+        assert sum(code_distance(ours.code)) > sum(code_distance(asc.code))
+
+    def test_data_defect_same_as_ours(self):
+        """Single interior data removal coincides with DataQ_RM."""
+        asc = rotated_surface_code(5)
+        asc_defect_removal(asc, [(5, 5)])
+        ours = rotated_surface_code(5)
+        defect_removal(ours, [(5, 5)])
+        assert code_distance(asc.code) == code_distance(ours.code)
+
+    def test_asc_handles_boundary(self):
+        patch = rotated_surface_code(5)
+        asc_defect_removal(patch, [(1, 5)])
+        check_code(patch.code)
+
+
+class TestQ3DE:
+    def test_doubles_patch(self):
+        patch = rotated_surface_code(3)
+        q3de_enlarge(patch, direction="e")
+        check_code(patch.code)
+        assert code_distance(patch.code) == (3, 6)
+
+    def test_keeps_defects_inside(self):
+        patch = rotated_surface_code(3)
+        defect_removal(patch, [(3, 3)])
+        q3de_enlarge(patch, direction="e")
+        # The rebuild resurrects the defective qubit: Q3DE semantics.
+        assert (3, 3) in patch.code.data_qubits
+        assert (3, 3) in patch.defective_data
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            q3de_enlarge(rotated_surface_code(3), direction="x")
+
+
+class TestMethodModels:
+    def test_all_methods_present(self):
+        assert set(METHODS) == {
+            "lattice_surgery",
+            "asc_s",
+            "q3de",
+            "q3de_star",
+            "surf_deformer",
+        }
+
+    def test_spacings(self):
+        assert METHODS["lattice_surgery"].spacing(21, 4) == 21
+        assert METHODS["q3de_star"].spacing(21, 4) == 42
+        assert METHODS["surf_deformer"].spacing(21, 4) == 25
+
+    def test_effective_distance_ordering(self):
+        d = 21
+        untreated = METHODS["lattice_surgery"].effective_distance(d)
+        removal = METHODS["asc_s"].effective_distance(d)
+        q3de = METHODS["q3de"].effective_distance(d)
+        restored = METHODS["surf_deformer"].effective_distance(d)
+        assert untreated < removal < restored
+        assert untreated < q3de <= restored
+
+
+class TestRetryRisk:
+    def test_compose_empty(self):
+        assert compose_risk([]) == 0.0
+
+    def test_compose_certain_failure(self):
+        assert compose_risk([1.0, 0.0]) == 1.0
+
+    def test_compose_independent(self):
+        assert compose_risk([0.5, 0.5]) == pytest.approx(0.75)
+
+    def test_retry_risk_grows_with_cycles(self):
+        a = retry_risk([1e-6] * 10, 1e3)
+        b = retry_risk([1e-6] * 10, 1e5)
+        assert b > a
+
+
+class TestLambdaModel:
+    def test_exponential_suppression(self):
+        model = LambdaModel(A=0.03, lam=8.0)
+        assert model.per_round(9) == pytest.approx(model.per_round(7) / 8.0)
+
+    def test_distance_for_inverts(self):
+        model = LambdaModel()
+        d = model.distance_for(1e-10)
+        assert model.per_round(d) <= 1e-10
+        assert model.per_round(d - 2) > 1e-10
+
+    def test_per_cycles_accumulates(self):
+        model = LambdaModel()
+        assert model.per_cycles(9, 1000) > model.per_round(9)
+
+    def test_degenerate_distance(self):
+        assert LambdaModel().per_round(0) == 0.5
+
+
+class TestEndToEnd:
+    def test_q3de_over_runtime_on_all_benchmarks(self):
+        """Paper observation 1: every Q3DE task is OverRuntime."""
+        for name in ("Simon-900-1500", "QFT-100-20", "Grover-16-2"):
+            prog = paper_benchmark(name)
+            for d in prog.distances:
+                result = evaluate_program(prog, "q3de", d)
+                assert result.over_runtime, (name, d)
+
+    def test_asc_much_worse_than_surf_deformer(self):
+        """Paper observation 2: ASC-S retry risk ≫ Surf-Deformer's."""
+        for name in ("RCA-225-500", "QFT-100-20"):
+            prog = paper_benchmark(name)
+            for d in prog.distances:
+                asc = evaluate_program(prog, "asc_s", d)
+                ours = evaluate_program(prog, "surf_deformer", d)
+                assert not ours.over_runtime
+                assert asc.retry_risk > 10 * ours.retry_risk, (name, d)
+
+    def test_surf_deformer_qubit_overhead_modest(self):
+        """Paper observation 3: ≈ 20 % more qubits than ASC-S's layout."""
+        prog = paper_benchmark("QFT-100-20")
+        asc = evaluate_program(prog, "asc_s", 25)
+        ours = evaluate_program(prog, "surf_deformer", 25)
+        overhead = ours.physical_qubits / asc.physical_qubits
+        assert 1.0 < overhead < 1.35
+
+    def test_q3de_star_uses_most_qubits(self):
+        prog = paper_benchmark("Grover-16-2")
+        star = evaluate_program(prog, "q3de_star", 25)
+        ours = evaluate_program(prog, "surf_deformer", 25)
+        assert star.physical_qubits > 1.5 * ours.physical_qubits
+
+    def test_risk_decreases_with_distance(self):
+        prog = paper_benchmark("Simon-400-1000")
+        r19 = evaluate_program(prog, "surf_deformer", 19).retry_risk
+        r21 = evaluate_program(prog, "surf_deformer", 21).retry_risk
+        assert r21 < r19
+
+
+class TestYieldRate:
+    def test_zero_faults_always_yield(self):
+        rate = yield_rate("surf_deformer", 7, 0, 7, samples=3, seed=0)
+        assert rate == 1.0
+
+    def test_ours_at_least_asc(self):
+        ours = yield_rate("surf_deformer", 9, 4, 7, samples=15, seed=1)
+        asc = yield_rate("asc_s", 9, 4, 7, samples=15, seed=1)
+        assert ours >= asc
+
+    def test_yield_decreases_with_faults(self):
+        few = yield_rate("surf_deformer", 9, 2, 8, samples=15, seed=2)
+        many = yield_rate("surf_deformer", 9, 10, 8, samples=15, seed=2)
+        assert many <= few
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            yield_rate("q3de", 9, 4, 7, samples=1)

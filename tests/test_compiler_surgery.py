@@ -1,0 +1,125 @@
+"""Tests for program generators, lattice surgery ops and scheduling."""
+
+import pytest
+
+from repro.codes import check_code, code_distance
+from repro.compiler import (
+    PAPER_BENCHMARKS,
+    grover,
+    paper_benchmark,
+    qft,
+    ripple_carry_adder,
+    simon,
+)
+from repro.surface import rotated_rect_patch, rotated_surface_code
+from repro.surgery import (
+    TFactory,
+    cnot_via_ancilla,
+    estimate_schedule,
+    merge_patches,
+    split_patch,
+)
+
+
+class TestPrograms:
+    def test_simon_matches_table2(self):
+        p = simon(400, 1000)
+        assert p.t_count == 0
+        assert abs(p.cx_count - 3.02e5) / 3.02e5 < 0.02
+
+    def test_simon_900(self):
+        p = simon(900, 1500)
+        assert abs(p.cx_count - 1.01e6) / 1.01e6 < 0.02
+
+    def test_rca_matches_table2(self):
+        p = ripple_carry_adder(729, 100)
+        assert abs(p.cx_count - 5.82e5) / 5.82e5 < 0.01
+        assert abs(p.t_count - 5.10e5) / 5.10e5 < 0.01
+
+    def test_qft_matches_table2(self):
+        p = qft(25, 160)
+        assert abs(p.cx_count - 1.02e5) / 1.02e5 < 0.05
+        assert abs(p.t_count - 1.87e8) / 1.87e8 < 0.05
+
+    def test_qft_100(self):
+        p = qft(100, 20)
+        assert abs(p.t_count - 1.58e9) / 1.58e9 < 0.05
+
+    def test_grover_scales_exponentially(self):
+        assert grover(16, 1).t_count > 50 * grover(9, 1).t_count
+
+    def test_paper_benchmarks_complete(self):
+        assert len(PAPER_BENCHMARKS) == 8
+        for prog in PAPER_BENCHMARKS.values():
+            assert len(prog.distances) == 2
+            assert prog.cx_count > 0
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            paper_benchmark("Shor-2048")
+
+
+class TestSurgeryOps:
+    def test_merge_produces_wider_code(self):
+        a = rotated_rect_patch(3, 3, (0, 0))
+        b = rotated_rect_patch(3, 3, (10, 0))
+        merged = merge_patches(a, b)
+        check_code(merged.code)
+        dx, dz = code_distance(merged.code)
+        assert dz == 8 and dx == 3
+
+    def test_merge_requires_aligned_heights(self):
+        a = rotated_rect_patch(3, 3, (0, 0))
+        b = rotated_rect_patch(3, 4, (10, 0))
+        with pytest.raises(ValueError):
+            merge_patches(a, b)
+
+    def test_merge_rejects_overlap(self):
+        a = rotated_rect_patch(3, 3, (0, 0))
+        b = rotated_rect_patch(3, 3, (2, 0))
+        with pytest.raises(ValueError):
+            merge_patches(a, b)
+
+    def test_split_round_trip(self):
+        a = rotated_rect_patch(3, 3, (0, 0))
+        b = rotated_rect_patch(3, 3, (8, 0))
+        merged = merge_patches(a, b)
+        left, right = split_patch(merged, 3)
+        check_code(left.code)
+        check_code(right.code)
+        assert code_distance(left.code) == (3, 3)
+        assert code_distance(right.code) == (3, 3)
+
+    def test_split_validates_width(self):
+        merged = merge_patches(
+            rotated_rect_patch(3, 3, (0, 0)), rotated_rect_patch(3, 3, (8, 0))
+        )
+        with pytest.raises(ValueError):
+            split_patch(merged, 6)
+
+    def test_cnot_window_count(self):
+        ops = cnot_via_ancilla(9, path_length=3)
+        assert len(ops) == 4
+        assert all(op.rounds == 9 for op in ops)
+
+
+class TestSchedule:
+    def test_t_limited_program(self):
+        est = estimate_schedule(
+            cx_count=1e5, t_count=1e9, num_logical=100, d=25
+        )
+        assert est.t_windows > est.cnot_windows
+
+    def test_clifford_only_program(self):
+        est = estimate_schedule(cx_count=3e5, t_count=0, num_logical=400, d=19)
+        assert est.t_windows == 0
+        assert est.total_cycles == pytest.approx(est.cnot_windows * 19)
+
+    def test_factory_rate(self):
+        factory = TFactory(d=15)
+        assert factory.rounds_per_state == pytest.approx(90.0)
+        assert factory.rounds_for(100, num_factories=10) == pytest.approx(900.0)
+
+    def test_capacity_floor(self):
+        est = estimate_schedule(cx_count=10, t_count=0, num_logical=2, d=5)
+        assert est.parallel_capacity >= 1.0

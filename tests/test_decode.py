@@ -1,0 +1,110 @@
+"""Tests for the MWPM decoder and decoding graph."""
+
+import numpy as np
+import pytest
+
+from repro.decode import MatchingDecoder
+from repro.decode.graph import BOUNDARY, DecodingGraph
+from repro.sim import NoiseModel, build_dem, memory_circuit, sample_detectors
+from repro.sim.dem import DetectorErrorModel, ErrorMechanism
+from repro.surface import rotated_surface_code
+
+
+def toy_dem():
+    """A 3-detector chain: boundary - d0 - d1 - d2 - boundary."""
+    mechanisms = [
+        ErrorMechanism(0.01, (0,), True),
+        ErrorMechanism(0.01, (0, 1), False),
+        ErrorMechanism(0.01, (1, 2), False),
+        ErrorMechanism(0.01, (2,), False),
+    ]
+    return DetectorErrorModel(mechanisms, num_detectors=3, num_observables=1)
+
+
+class TestDecodingGraph:
+    def test_nodes_and_boundary(self):
+        g = DecodingGraph(toy_dem())
+        assert BOUNDARY in g.graph
+        assert g.graph.number_of_edges() == 4
+
+    def test_parallel_edges_merge(self):
+        dem = DetectorErrorModel(
+            [ErrorMechanism(0.01, (0, 1), False), ErrorMechanism(0.02, (0, 1), True)],
+            num_detectors=2,
+            num_observables=1,
+        )
+        g = DecodingGraph(dem)
+        assert g.graph.number_of_edges() == 1
+        p = g.graph[0][1]["probability"]
+        assert p == pytest.approx(0.01 * 0.98 + 0.02 * 0.99)
+
+    def test_observable_parity_along_path(self):
+        g = DecodingGraph(toy_dem())
+        assert g.path_observable_parity([BOUNDARY, 0]) == 1
+        assert g.path_observable_parity([0, 1, 2]) == 0
+
+
+class TestMatchingDecoder:
+    def test_empty_syndrome(self):
+        dec = MatchingDecoder(toy_dem())
+        assert dec.decode(np.zeros(3, dtype=np.uint8)) == 0
+
+    def test_single_defect_matches_to_boundary(self):
+        dec = MatchingDecoder(toy_dem())
+        # Defect at detector 0: nearest boundary path crosses the
+        # observable edge.
+        assert dec.decode(np.array([1, 0, 0])) == 1
+        # Defect at detector 2: boundary on the other side, no flip.
+        assert dec.decode(np.array([0, 0, 1])) == 0
+
+    def test_pair_matches_internally(self):
+        dec = MatchingDecoder(toy_dem())
+        assert dec.decode(np.array([1, 1, 0])) == 0
+
+    def test_greedy_agrees_on_simple_cases(self):
+        exact = MatchingDecoder(toy_dem())
+        greedy = MatchingDecoder(toy_dem(), method="greedy")
+        for syndrome in ([1, 0, 0], [0, 1, 1], [1, 1, 1], [0, 0, 0]):
+            s = np.array(syndrome)
+            assert exact.decode(s) == greedy.decode(s)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            MatchingDecoder(toy_dem(), method="magic")
+
+    def test_decode_batch_shape(self):
+        dec = MatchingDecoder(toy_dem())
+        out = dec.decode_batch(np.zeros((5, 3), dtype=np.uint8))
+        assert out.shape == (5,)
+
+
+class TestEndToEndDecoding:
+    def test_distance_scaling(self):
+        """d=5 must beat d=3 at p well below threshold."""
+        rates = {}
+        for d in (3, 5):
+            patch = rotated_surface_code(d)
+            c = memory_circuit(patch.code, "Z", d, NoiseModel.uniform(3e-3))
+            dem = build_dem(c)
+            dec = MatchingDecoder(dem)
+            det, obs = sample_detectors(c, 4000, seed=3)
+            rates[d] = dec.logical_error_rate(det, obs)
+        assert rates[5] < rates[3]
+
+    def test_decoder_beats_majority_noise(self):
+        """At low p the decoder corrects nearly everything."""
+        patch = rotated_surface_code(3)
+        c = memory_circuit(patch.code, "Z", 3, NoiseModel.uniform(1e-3))
+        dem = build_dem(c)
+        dec = MatchingDecoder(dem)
+        det, obs = sample_detectors(c, 2000, seed=5)
+        raw_flip_rate = (obs.sum(axis=1) % 2).mean()
+        assert dec.logical_error_rate(det, obs) <= raw_flip_rate + 1e-9
+
+    def test_x_memory_symmetric(self):
+        patch = rotated_surface_code(3)
+        c = memory_circuit(patch.code, "X", 3, NoiseModel.uniform(3e-3))
+        dem = build_dem(c)
+        dec = MatchingDecoder(dem)
+        det, obs = sample_detectors(c, 2000, seed=6)
+        assert dec.logical_error_rate(det, obs) < 0.05

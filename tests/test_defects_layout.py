@@ -1,0 +1,170 @@
+"""Tests for defect models, detection, layout generation and routing."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.defects import CosmicRayModel, DefectDetector, sample_defect_region
+from repro.layout import LayoutGenerator, LogicalLayout, Router
+from repro.layout.generator import block_probability
+from repro.surface import rotated_surface_code
+
+
+class TestDefectModel:
+    def test_region_radius(self):
+        patch = rotated_surface_code(9)
+        qubits = patch.all_qubit_coords()
+        region = sample_defect_region((9, 9), qubits, radius=2)
+        assert (9, 9) in region
+        assert all(max(abs(x - 9), abs(y - 9)) <= 4 for x, y in region)
+        # Interior strike affects a large neighbourhood (≈ 24 qubits + centre).
+        assert len(region) >= 20
+
+    def test_duration_cycles_matches_paper(self):
+        model = CosmicRayModel()
+        assert model.duration_cycles == 25_000  # 25 ms at 1 µs cycles
+
+    def test_expected_events(self):
+        model = CosmicRayModel()
+        # 26 qubits for 10 s should average one event (the paper's rate).
+        expected = model.expected_events(26, int(10 / 1e-6))
+        assert expected == pytest.approx(1.0)
+
+    def test_sample_events_reproducible(self):
+        qubits = set(rotated_surface_code(5).all_qubit_coords())
+        a = CosmicRayModel(seed=3).sample_events(qubits, 10_000_000)
+        b = CosmicRayModel(seed=3).sample_events(qubits, 10_000_000)
+        assert [e.center for e in a] == [e.center for e in b]
+
+    def test_event_active_window(self):
+        from repro.defects.models import DefectEvent
+
+        e = DefectEvent((1, 1), 100, 50, frozenset({(1, 1)}))
+        assert e.active_at(100) and e.active_at(149)
+        assert not e.active_at(99) and not e.active_at(150)
+
+    def test_sample_defective_qubits_count(self):
+        qubits = set(rotated_surface_code(9).all_qubit_coords())
+        got = CosmicRayModel(seed=1).sample_defective_qubits(qubits, 10)
+        assert len(got) == 10
+        assert got <= qubits
+
+
+class TestDefectDetector:
+    def test_perfect_detector(self):
+        det = DefectDetector(seed=0)
+        reported, missed = det.report({(1, 1)}, {(3, 3)})
+        assert reported == {(1, 1)} and missed == set()
+
+    def test_false_negative(self):
+        det = DefectDetector(false_negative=1.0, seed=0)
+        reported, missed = det.report({(1, 1)}, set())
+        assert reported == set() and missed == {(1, 1)}
+
+    def test_false_positive(self):
+        det = DefectDetector(false_positive=1.0, seed=0)
+        reported, _ = det.report(set(), {(3, 3)})
+        assert (3, 3) in reported
+
+    def test_rates_statistical(self):
+        det = DefectDetector(false_negative=0.3, seed=7)
+        true = {(x, 1) for x in range(1, 2001, 2)}
+        _, missed = det.report(true, set())
+        assert abs(len(missed) / len(true) - 0.3) < 0.05
+
+
+class TestLayoutGenerator:
+    def test_paper_worked_example(self):
+        """Section VI: d=27, ρ=0.1/26 Hz, T=25 ms, D=4 → Δd=4, p≈0.0089."""
+        p = block_probability(
+            27, 4, event_rate_hz_per_qubit=0.1 / 26, duration_s=25e-3, defect_size=4
+        )
+        assert p == pytest.approx(0.0089, abs=5e-4)
+        gen = LayoutGenerator()
+        delta, p_chosen = gen.choose_delta_d(27)
+        assert delta == 4
+        assert p_chosen < 0.01
+
+    def test_delta_d_zero_blocks_too_often(self):
+        p = block_probability(
+            27, 0, event_rate_hz_per_qubit=0.1 / 26, duration_s=25e-3, defect_size=4
+        )
+        assert p > 0.01
+
+    def test_block_probability_monotone_in_delta(self):
+        ps = [
+            block_probability(
+                21, delta, event_rate_hz_per_qubit=0.1 / 26, duration_s=25e-3,
+                defect_size=4,
+            )
+            for delta in (0, 4, 8, 12)
+        ]
+        assert ps == sorted(ps, reverse=True)
+
+    def test_choose_distance_monotone_in_risk(self):
+        gen = LayoutGenerator()
+        d_loose = gen.choose_distance(100, 1e6, 0.1)
+        d_tight = gen.choose_distance(100, 1e6, 1e-4)
+        assert d_tight >= d_loose
+
+    def test_spec_counts(self):
+        gen = LayoutGenerator()
+        spec = gen.generate(10, 1e6, d=9)
+        assert spec.rows * spec.cols >= 10
+        assert spec.inter_space == 9 + spec.delta_d
+        assert spec.physical_qubits() > 0
+
+    def test_forced_inter_space(self):
+        gen = LayoutGenerator()
+        spec = gen.generate(10, 1e6, d=9, inter_space=18)
+        assert spec.inter_space == 18
+
+    @given(st.integers(3, 41))
+    @settings(max_examples=20)
+    def test_block_probability_in_unit_interval(self, d):
+        p = block_probability(
+            d, 4, event_rate_hz_per_qubit=0.1 / 26, duration_s=25e-3, defect_size=4
+        )
+        assert 0.0 <= p <= 1.0
+
+
+class TestRouting:
+    def _spec(self, n=16, d=5):
+        return LayoutGenerator().generate(n, 1e5, d=d)
+
+    def test_single_gate_routes(self):
+        layout = LogicalLayout(spec=self._spec())
+        result = Router(layout).schedule([(0, 15)])
+        assert result.completed == 1 and result.stalled == 0
+
+    def test_parallel_gates_share_timestep(self):
+        layout = LogicalLayout(spec=self._spec())
+        result = Router(layout).schedule([(0, 1), (14, 15)])
+        assert result.timesteps == 1
+
+    def test_conflicting_gates_serialise(self):
+        layout = LogicalLayout(spec=self._spec())
+        result = Router(layout).schedule([(0, 1), (1, 2)])
+        assert result.completed == 2
+        assert result.timesteps == 2  # qubit 1 is busy in step 1
+
+    def test_blocked_cells_removed_from_graph(self):
+        spec = self._spec()
+        layout = LogicalLayout(spec=spec, blocked_cells={(0, 0)})
+        graph = layout.channel_graph()
+        assert not graph.has_edge((0, 0), (0, 1))
+        assert not graph.has_edge((0, 0), (1, 0))
+
+    def test_fully_blocked_stalls(self):
+        spec = self._spec(n=9, d=5)
+        blocked = {(r, c) for r in range(spec.rows) for c in range(spec.cols)}
+        layout = LogicalLayout(spec=spec, blocked_cells=blocked)
+        result = Router(layout).schedule([(0, 8)])
+        assert result.stalled == 1
+
+    def test_cell_of_bounds(self):
+        layout = LogicalLayout(spec=self._spec(n=4))
+        with pytest.raises(ValueError):
+            layout.cell_of(99)

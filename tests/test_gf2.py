@@ -1,0 +1,156 @@
+"""Unit and property tests for GF(2) linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.utils import (
+    gf2_gaussian_elimination,
+    gf2_in_rowspace,
+    gf2_independent_rows,
+    gf2_nullspace,
+    gf2_rank,
+    gf2_row_reduce,
+    gf2_solve,
+)
+
+matrices = arrays(
+    dtype=np.uint8,
+    shape=st.tuples(st.integers(1, 8), st.integers(1, 8)),
+    elements=st.integers(0, 1),
+)
+
+
+class TestRank:
+    def test_identity(self):
+        assert gf2_rank(np.eye(4, dtype=np.uint8)) == 4
+
+    def test_zero_matrix(self):
+        assert gf2_rank(np.zeros((3, 5), dtype=np.uint8)) == 0
+
+    def test_empty(self):
+        assert gf2_rank(np.zeros((0, 4), dtype=np.uint8)) == 0
+
+    def test_duplicate_rows(self):
+        m = np.array([[1, 0, 1], [1, 0, 1], [0, 1, 0]], dtype=np.uint8)
+        assert gf2_rank(m) == 2
+
+    def test_xor_dependence(self):
+        m = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]], dtype=np.uint8)
+        assert gf2_rank(m) == 2
+
+    @given(matrices)
+    @settings(max_examples=50)
+    def test_rank_bounded(self, m):
+        r = gf2_rank(m)
+        assert 0 <= r <= min(m.shape)
+
+    @given(matrices)
+    @settings(max_examples=50)
+    def test_rank_invariant_under_row_swap(self, m):
+        swapped = m[::-1].copy()
+        assert gf2_rank(m) == gf2_rank(swapped)
+
+
+class TestEchelon:
+    def test_pivots_strictly_increase(self):
+        m = np.array([[1, 1, 1], [1, 0, 0], [0, 1, 1]], dtype=np.uint8)
+        ech, pivots = gf2_gaussian_elimination(m)
+        assert pivots == sorted(pivots)
+        assert len(set(pivots)) == len(pivots)
+
+    @given(matrices)
+    @settings(max_examples=50)
+    def test_rref_pivot_columns_are_unit(self, m):
+        rref, pivots = gf2_row_reduce(m)
+        for r, c in enumerate(pivots):
+            col = rref[:, c]
+            assert col[r] == 1
+            assert col.sum() == 1
+
+
+class TestNullspace:
+    def test_nullspace_vectors_annihilate(self):
+        m = np.array([[1, 1, 0, 0], [0, 1, 1, 0]], dtype=np.uint8)
+        ns = gf2_nullspace(m)
+        for v in ns:
+            assert not ((m @ v) % 2).any()
+
+    def test_dimension(self):
+        m = np.array([[1, 1, 0, 0], [0, 1, 1, 0]], dtype=np.uint8)
+        assert gf2_nullspace(m).shape[0] == 4 - gf2_rank(m)
+
+    @given(matrices)
+    @settings(max_examples=50)
+    def test_rank_nullity(self, m):
+        assert gf2_nullspace(m).shape[0] == m.shape[1] - gf2_rank(m)
+
+    @given(matrices)
+    @settings(max_examples=50)
+    def test_annihilation_property(self, m):
+        for v in gf2_nullspace(m):
+            assert not ((m @ v) % 2).any()
+
+
+class TestSolve:
+    def test_solves_known_combination(self):
+        m = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+        target = np.array([1, 0, 1], dtype=np.uint8)  # row0 ^ row1
+        x = gf2_solve(m, target)
+        assert x is not None
+        assert (((x @ m) % 2) == target).all()
+
+    def test_unsolvable_returns_none(self):
+        m = np.array([[1, 1, 0]], dtype=np.uint8)
+        assert gf2_solve(m, np.array([1, 0, 0], dtype=np.uint8)) is None
+
+    def test_zero_target(self):
+        m = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        x = gf2_solve(m, np.array([0, 0], dtype=np.uint8))
+        assert x is not None and not ((x @ m) % 2).any()
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            gf2_solve(np.eye(2, dtype=np.uint8), np.array([1, 0, 0]))
+
+    @given(matrices, st.data())
+    @settings(max_examples=50)
+    def test_round_trip(self, m, data):
+        coeffs = data.draw(
+            arrays(np.uint8, (m.shape[0],), elements=st.integers(0, 1))
+        )
+        target = (coeffs @ m) % 2
+        x = gf2_solve(m, target)
+        assert x is not None
+        assert (((x @ m) % 2) == target).all()
+
+
+class TestRowspace:
+    def test_membership(self):
+        m = np.array([[1, 1, 0], [0, 0, 1]], dtype=np.uint8)
+        assert gf2_in_rowspace(m, np.array([1, 1, 1], dtype=np.uint8))
+        assert not gf2_in_rowspace(m, np.array([1, 0, 0], dtype=np.uint8))
+
+    def test_zero_vector_always_member(self):
+        m = np.zeros((0, 3), dtype=np.uint8)
+        assert gf2_in_rowspace(m, np.zeros(3, dtype=np.uint8))
+
+
+class TestIndependentRows:
+    def test_keeps_first_of_duplicates(self):
+        m = np.array([[1, 0], [1, 0], [0, 1]], dtype=np.uint8)
+        assert gf2_independent_rows(m) == [0, 2]
+
+    def test_skips_zero_rows(self):
+        m = np.array([[0, 0], [1, 1]], dtype=np.uint8)
+        assert gf2_independent_rows(m) == [1]
+
+    @given(matrices)
+    @settings(max_examples=50)
+    def test_selected_rows_have_full_rank(self, m):
+        kept = gf2_independent_rows(m)
+        assert len(kept) == gf2_rank(m)
+        if kept:
+            assert gf2_rank(m[kept]) == len(kept)

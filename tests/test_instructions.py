@@ -1,0 +1,252 @@
+"""Tests for the four deformation instructions (section IV, fig. 6-8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import check_code, code_distance, graph_distance
+from repro.deform import (
+    data_q_rm,
+    patch_q_add_layer,
+    patch_q_rm,
+    syndrome_q_rm,
+)
+from repro.surface import rotated_surface_code
+
+
+def interior_data_qubits(d):
+    return [(x, y) for x in range(3, 2 * d - 2, 2) for y in range(3, 2 * d - 2, 2)]
+
+
+class TestDataQRM:
+    def test_removes_qubit(self):
+        patch = rotated_surface_code(5)
+        data_q_rm(patch, (5, 5))
+        assert (5, 5) not in patch.code.data_qubits
+        assert (5, 5) in patch.defective_data
+
+    def test_preserves_validity(self):
+        patch = rotated_surface_code(5)
+        data_q_rm(patch, (5, 5))
+        check_code(patch.code)
+
+    def test_forms_two_super_stabilizers(self):
+        patch = rotated_surface_code(5)
+        before = len(patch.code.stabilizers)
+        data_q_rm(patch, (5, 5))
+        # Two pairs merged: net loss of two generators.
+        assert len(patch.code.stabilizers) == before - 2
+
+    def test_distance_drops_by_one_per_basis(self):
+        patch = rotated_surface_code(5)
+        data_q_rm(patch, (5, 5))
+        assert code_distance(patch.code) == (4, 4)
+
+    def test_matches_brute_force(self):
+        patch = rotated_surface_code(4)
+        data_q_rm(patch, (3, 3))
+        assert code_distance(patch.code) == code_distance(patch.code, exact=True)
+
+    def test_logical_rerouted_off_removed_qubit(self):
+        patch = rotated_surface_code(5)
+        # Put the defect on the tracked logical Z row (y = 1 is boundary,
+        # so remove an interior qubit after rerouting check on X col).
+        data_q_rm(patch, (3, 3))
+        assert (3, 3) not in patch.code.logical_x.support
+        assert (3, 3) not in patch.code.logical_z.support
+
+    def test_rejects_boundary_qubit(self):
+        patch = rotated_surface_code(5)
+        with pytest.raises(ValueError):
+            data_q_rm(patch, (1, 5))
+
+    def test_rejects_inactive_qubit(self):
+        patch = rotated_surface_code(5)
+        data_q_rm(patch, (5, 5))
+        with pytest.raises(ValueError):
+            data_q_rm(patch, (5, 5))
+
+    def test_gauge_checks_remain_measured(self):
+        patch = rotated_surface_code(5)
+        n_checks = len(patch.code.checks)
+        data_q_rm(patch, (5, 5))
+        # All four truncated plaquette checks still measured.
+        assert len(patch.code.checks) == n_checks
+
+    @given(st.sampled_from(interior_data_qubits(5)))
+    @settings(max_examples=9, deadline=None)
+    def test_any_interior_removal_valid(self, q):
+        patch = rotated_surface_code(5)
+        data_q_rm(patch, q)
+        check_code(patch.code)
+        dx, dz = code_distance(patch.code)
+        assert dx >= 4 and dz >= 4
+
+
+class TestSyndromeQRM:
+    def test_fig7a_preserves_one_basis(self):
+        """Paper fig. 7(a): X-syndrome removal keeps Z-distance at 5."""
+        patch = rotated_surface_code(5)
+        syndrome_q_rm(patch, (4, 6))  # X-type interior check
+        check_code(patch.code)
+        assert code_distance(patch.code) == (3, 5)
+
+    def test_fig7a_brute_force(self):
+        patch = rotated_surface_code(5)
+        syndrome_q_rm(patch, (4, 6))
+        assert code_distance(patch.code, exact=True) == (3, 5)
+
+    def test_z_syndrome_preserves_x_distance(self):
+        patch = rotated_surface_code(5)
+        syndrome_q_rm(patch, (4, 4))  # Z-type interior check
+        check_code(patch.code)
+        assert code_distance(patch.code) == (5, 3)
+
+    def test_asc_equivalent_is_worse(self):
+        """ASC-S removes the four data neighbours instead (fig. 7a)."""
+        ours = rotated_surface_code(5)
+        syndrome_q_rm(ours, (4, 6))
+        asc = rotated_surface_code(5)
+        for q in sorted(rotated_surface_code(5).check_at((4, 6)).pauli.support):
+            data_q_rm(asc, q)
+        check_code(asc.code)
+        assert code_distance(asc.code) == (3, 3)
+        ours_dx, ours_dz = code_distance(ours.code)
+        assert min(ours_dx, ours_dz) >= 3 and max(ours_dx, ours_dz) == 5
+
+    def test_check_inferred_from_gauges(self):
+        patch = rotated_surface_code(5)
+        name = "X:4,6"
+        syndrome_q_rm(patch, (4, 6))
+        gen = patch.code.stabilizers[name]
+        assert len(gen.measured_via) == 4
+        for via in gen.measured_via:
+            assert patch.code.checks[via].pauli.weight == 1
+            assert patch.code.checks[via].ancilla is None
+
+    def test_octagon_super_stabilizer(self):
+        patch = rotated_surface_code(5)
+        syndrome_q_rm(patch, (4, 6))
+        weights = sorted(
+            g.pauli.weight for g in patch.code.stabilizers.values() if g.basis == "Z"
+        )
+        assert weights[-1] == 8  # the octagon of fig. 6(b)
+
+    def test_ancilla_marked_defective(self):
+        patch = rotated_surface_code(5)
+        syndrome_q_rm(patch, (4, 6))
+        assert (4, 6) in patch.defective_ancillas
+
+    def test_rejects_unknown_ancilla(self):
+        patch = rotated_surface_code(5)
+        with pytest.raises(ValueError):
+            syndrome_q_rm(patch, (0, 0))
+
+    def test_commutes_with_data_q_rm(self):
+        """Instruction commutativity claim (section IV): order-independent."""
+        a = rotated_surface_code(7)
+        data_q_rm(a, (9, 9))
+        syndrome_q_rm(a, (4, 6))
+        b = rotated_surface_code(7)
+        syndrome_q_rm(b, (4, 6))
+        data_q_rm(b, (9, 9))
+        assert code_distance(a.code) == code_distance(b.code)
+        assert a.code.data_qubits == b.code.data_qubits
+
+
+class TestPatchQRM:
+    def test_west_edge_fix_z(self):
+        patch = rotated_surface_code(5)
+        patch_q_rm(patch, (1, 5), fix_basis="Z")
+        check_code(patch.code)
+        assert code_distance(patch.code) == (5, 4)
+
+    def test_default_fix_basis_matches_edge(self):
+        patch = rotated_surface_code(5)
+        patch_q_rm(patch, (1, 5))
+        check_code(patch.code)
+        assert code_distance(patch.code) == (5, 4)
+
+    def test_north_edge_fix_x(self):
+        patch = rotated_surface_code(5)
+        patch_q_rm(patch, (5, 9), fix_basis="X")
+        check_code(patch.code)
+        assert code_distance(patch.code) == (4, 5)
+
+    def test_corner_both_options_valid(self):
+        for basis in ("X", "Z"):
+            patch = rotated_surface_code(5)
+            patch_q_rm(patch, (1, 1), fix_basis=basis)
+            check_code(patch.code)
+            dx, dz = code_distance(patch.code)
+            assert min(dx, dz) >= 4
+
+    def test_matches_brute_force(self):
+        patch = rotated_surface_code(4)
+        patch_q_rm(patch, (1, 3))
+        assert code_distance(patch.code) == code_distance(patch.code, exact=True)
+
+    def test_boundary_syndrome_disable(self):
+        patch = rotated_surface_code(5)
+        patch_q_rm(patch, (2, 0))  # X half-check ancilla on the south rim
+        check_code(patch.code)
+        assert patch.check_at((2, 0)) is None
+        dx, dz = code_distance(patch.code)
+        assert min(dx, dz) >= 4
+
+    def test_boundary_syndrome_disable_without_orphans(self):
+        patch = rotated_surface_code(5)
+        patch_q_rm(patch, (0, 4))  # Z half-check on the west rim, no orphans
+        check_code(patch.code)
+        assert patch.check_at((0, 4)) is None
+        # No data qubit needed removal.
+        assert patch.code.n == 25
+
+    def test_rejects_bad_basis(self):
+        patch = rotated_surface_code(5)
+        with pytest.raises(ValueError):
+            patch_q_rm(patch, (1, 5), fix_basis="Y")
+
+    def test_rejects_interior_without_basis(self):
+        patch = rotated_surface_code(5)
+        with pytest.raises(ValueError):
+            patch_q_rm(patch, (5, 5))
+
+    def test_repeated_edge_removal(self):
+        """Deepening dent on the same edge stays valid (fig. 9a)."""
+        patch = rotated_surface_code(5)
+        patch_q_rm(patch, (1, 5))
+        check_code(patch.code)
+        patch_q_rm(patch, (1, 3))
+        check_code(patch.code)
+        dx, dz = code_distance(patch.code)
+        assert dz >= 3 and dx >= 3
+
+
+class TestPatchQADD:
+    @pytest.mark.parametrize("side,expect", [("e", (5, 6)), ("w", (5, 6)),
+                                             ("n", (6, 5)), ("s", (6, 5))])
+    def test_growth_extends_distance(self, side, expect):
+        patch = rotated_surface_code(5)
+        pending = patch_q_add_layer(patch, side)
+        assert pending == []
+        check_code(patch.code)
+        assert code_distance(patch.code) == expect
+
+    def test_growth_reports_defects_in_footprint(self):
+        patch = rotated_surface_code(5)
+        data_q_rm(patch, (5, 5))
+        pending = patch_q_add_layer(patch, "e")
+        assert (5, 5) in pending
+
+    def test_rejects_bad_side(self):
+        patch = rotated_surface_code(5)
+        with pytest.raises(ValueError):
+            patch_q_add_layer(patch, "q")
+
+    def test_double_growth(self):
+        patch = rotated_surface_code(3)
+        patch_q_add_layer(patch, "e")
+        patch_q_add_layer(patch, "n")
+        check_code(patch.code)
+        assert code_distance(patch.code) == (4, 4)

@@ -1,0 +1,135 @@
+"""Unit and property tests for the Pauli algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pauli import PauliOp, commutes, symplectic_product
+
+QUBITS = [(x, y) for x in range(1, 8, 2) for y in range(1, 8, 2)]
+
+
+def pauli_ops():
+    return st.builds(
+        PauliOp,
+        x_support=st.sets(st.sampled_from(QUBITS), max_size=6),
+        z_support=st.sets(st.sampled_from(QUBITS), max_size=6),
+    )
+
+
+class TestConstruction:
+    def test_from_label(self):
+        op = PauliOp.from_label({(1, 1): "X", (3, 3): "Z", (5, 5): "Y", (7, 7): "I"})
+        assert op.letter((1, 1)) == "X"
+        assert op.letter((3, 3)) == "Z"
+        assert op.letter((5, 5)) == "Y"
+        assert op.letter((7, 7)) == "I"
+        assert op.weight == 3
+
+    def test_from_label_rejects_bad_letter(self):
+        with pytest.raises(ValueError):
+            PauliOp.from_label({(1, 1): "Q"})
+
+    def test_x_on_single_qubit_needs_wrapping(self):
+        op = PauliOp.x_on([(1, 1)])
+        assert op.support == {(1, 1)}
+
+    def test_identity(self):
+        assert PauliOp.identity().is_identity()
+        assert PauliOp.identity().weight == 0
+
+    def test_css_type_predicates(self):
+        assert PauliOp.x_on([(1, 1)]).is_x_type()
+        assert PauliOp.z_on([(1, 1)]).is_z_type()
+        assert not PauliOp.from_label({(1, 1): "Y"}).is_x_type()
+
+
+class TestAlgebra:
+    def test_product_cancels_shared_support(self):
+        a = PauliOp.x_on([(1, 1), (3, 3)])
+        b = PauliOp.x_on([(3, 3), (5, 5)])
+        assert (a * b).x_support == frozenset({(1, 1), (5, 5)})
+
+    def test_xz_same_qubit_anticommute(self):
+        assert not commutes(PauliOp.x_on([(1, 1)]), PauliOp.z_on([(1, 1)]))
+
+    def test_xz_different_qubits_commute(self):
+        assert commutes(PauliOp.x_on([(1, 1)]), PauliOp.z_on([(3, 3)]))
+
+    def test_overlap_two_commutes(self):
+        a = PauliOp.x_on([(1, 1), (3, 3)])
+        b = PauliOp.z_on([(1, 1), (3, 3)])
+        assert commutes(a, b)
+
+    def test_y_anticommutes_with_x_and_z(self):
+        y = PauliOp.from_label({(1, 1): "Y"})
+        assert not commutes(y, PauliOp.x_on([(1, 1)]))
+        assert not commutes(y, PauliOp.z_on([(1, 1)]))
+
+    @given(pauli_ops(), pauli_ops())
+    @settings(max_examples=100)
+    def test_symplectic_symmetry(self, a, b):
+        assert symplectic_product(a, b) == symplectic_product(b, a)
+
+    @given(pauli_ops())
+    @settings(max_examples=50)
+    def test_self_commutes(self, a):
+        assert commutes(a, a)
+
+    @given(pauli_ops())
+    @settings(max_examples=50)
+    def test_self_inverse(self, a):
+        assert (a * a).is_identity()
+
+    @given(pauli_ops(), pauli_ops(), pauli_ops())
+    @settings(max_examples=50)
+    def test_product_associative(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+
+    @given(pauli_ops(), pauli_ops(), pauli_ops())
+    @settings(max_examples=50)
+    def test_commutation_bilinear(self, a, b, c):
+        lhs = symplectic_product(a * b, c)
+        rhs = (symplectic_product(a, c) + symplectic_product(b, c)) % 2
+        assert lhs == rhs
+
+
+class TestSymplectic:
+    def test_round_trip(self):
+        order = QUBITS[:6]
+        op = PauliOp.from_label({order[0]: "X", order[2]: "Y", order[5]: "Z"})
+        row = op.to_symplectic(order)
+        assert PauliOp.from_symplectic(row, order) == op
+
+    def test_row_layout(self):
+        order = [(1, 1), (3, 3)]
+        op = PauliOp.from_label({(1, 1): "X", (3, 3): "Z"})
+        row = op.to_symplectic(order)
+        assert row.tolist() == [1, 0, 0, 1]
+
+    def test_bad_length_raises(self):
+        with pytest.raises(ValueError):
+            PauliOp.from_symplectic(np.zeros(3, dtype=np.uint8), [(1, 1)])
+
+    @given(pauli_ops())
+    @settings(max_examples=50)
+    def test_round_trip_property(self, op):
+        order = sorted(QUBITS)
+        assert PauliOp.from_symplectic(op.to_symplectic(order), order) == op
+
+
+class TestMisc:
+    def test_restricted_to(self):
+        op = PauliOp.from_label({(1, 1): "X", (3, 3): "Z"})
+        assert op.restricted_to([(1, 1)]) == PauliOp.x_on([(1, 1)])
+
+    def test_hashable_and_eq(self):
+        a = PauliOp.x_on([(1, 1)])
+        b = PauliOp.x_on([(1, 1)])
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_repr_contains_letters(self):
+        op = PauliOp.from_label({(1, 1): "Y"})
+        assert "Y" in repr(op)

@@ -1,0 +1,196 @@
+"""Tests for Algorithm 1 (Defect Removal) and Algorithm 2 (Adaptive Enlargement)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import check_code, code_distance, graph_distance
+from repro.deform import (
+    CodeDeformationUnit,
+    adaptive_enlargement,
+    balancing,
+    defect_removal,
+)
+from repro.surface import rotated_surface_code
+
+
+class TestDefectRemoval:
+    def test_mixed_defects(self):
+        patch = rotated_surface_code(5)
+        report = defect_removal(patch, [(5, 5), (4, 6), (1, 5)])
+        check_code(patch.code)
+        assert len(report.handled) == 3
+        actions = dict(report.handled)
+        assert actions[(5, 5)] == "DataQ_RM"
+        assert actions[(4, 6)] == "SyndromeQ_RM"
+        assert actions[(1, 5)].startswith("PatchQ_RM")
+
+    def test_distance_loss_reported(self):
+        patch = rotated_surface_code(5)
+        report = defect_removal(patch, [(5, 5)])
+        assert report.distance_before == (5, 5)
+        assert report.distance_after == (4, 4)
+        assert report.distance_loss == (1, 1)
+
+    def test_idempotent(self):
+        patch = rotated_surface_code(5)
+        defect_removal(patch, [(5, 5)])
+        report = defect_removal(patch, [(5, 5)])
+        assert report.skipped == [(5, 5)]
+        check_code(patch.code)
+
+    def test_corner_uses_balancing(self):
+        patch = rotated_surface_code(5)
+        report = defect_removal(patch, [(1, 1)])
+        (coord, action), = report.handled
+        assert action.startswith("PatchQ_RM[fix=")
+        check_code(patch.code)
+
+    def test_balancing_beats_or_ties_either_option(self):
+        patch = rotated_surface_code(5)
+        basis = balancing(patch, (9, 9))
+        assert basis in ("X", "Z")
+
+    def test_rejects_non_lattice_coord(self):
+        patch = rotated_surface_code(5)
+        with pytest.raises(ValueError):
+            defect_removal(patch, [(1, 2)])
+
+    def test_cluster_of_defects(self):
+        """A 2x2 defect cluster (multi-bit burst, section II-B)."""
+        patch = rotated_surface_code(7)
+        cluster = [(5, 5), (5, 7), (7, 5), (7, 7)]
+        defect_removal(patch, cluster)
+        check_code(patch.code)
+        dx, dz = code_distance(patch.code)
+        assert min(dx, dz) >= 4
+
+    def test_unused_ancilla_defect_recorded(self):
+        patch = rotated_surface_code(5)
+        report = defect_removal(patch, [(0, 0)])
+        assert report.skipped == [(0, 0)]
+        assert (0, 0) in patch.defective_ancillas
+
+    @given(
+        st.sets(
+            st.sampled_from(
+                [(x, y) for x in range(1, 14, 2) for y in range(1, 14, 2)]
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_data_defects_keep_validity(self, defects):
+        patch = rotated_surface_code(7)
+        try:
+            defect_removal(patch, defects)
+        except ValueError:
+            return  # pathological pattern disconnecting the patch
+        check_code(patch.code)
+        dx, dz = code_distance(patch.code)
+        assert dx >= 1 and dz >= 1
+
+
+class TestAdaptiveEnlargement:
+    def test_restores_after_interior_removal(self):
+        patch = rotated_surface_code(5)
+        defect_removal(patch, [(5, 5)])
+        report = adaptive_enlargement(patch)
+        assert report.restored
+        assert report.final_distance >= (5, 5)
+        check_code(patch.code)
+
+    def test_no_growth_when_distance_intact(self):
+        patch = rotated_surface_code(5)
+        report = adaptive_enlargement(patch)
+        assert report.restored
+        assert report.layers_added == []
+        assert report.qubits_added == 0
+
+    def test_grows_away_from_defective_layer(self):
+        """fig. 9(c): prospective-layer defects steer the growth side."""
+        patch = rotated_surface_code(5)
+        defect_removal(patch, [(5, 5)])
+        report = adaptive_enlargement(patch, extra_defects={(11, 5), (11, 7)})
+        assert report.restored
+        assert "w" in report.layers_added or "e" not in report.layers_added
+
+    def test_grows_through_defective_layer_when_forced(self):
+        """fig. 9(d): sparse defects in both prospective layers force
+        growth *through* a defective layer, removing the defect inside."""
+        patch = rotated_surface_code(5)
+        defect_removal(patch, [(5, 5)])
+        extra = {(11, 5), (-1, 5)}
+        report = adaptive_enlargement(patch, extra_defects=extra, max_layers_per_side=3)
+        check_code(patch.code)
+        assert report.final_distance >= (5, 5)
+        assert report.restored
+
+    def test_fully_defective_layer_reverts_and_uses_other_side(self):
+        """A fully defective column disconnects growth; the subroutine
+        must revert that attempt and succeed on the opposite side."""
+        patch = rotated_surface_code(5)
+        defect_removal(patch, [(5, 5)])
+        extra = {(11, y) for y in range(1, 11, 2)}
+        report = adaptive_enlargement(patch, extra_defects=extra, max_layers_per_side=3)
+        check_code(patch.code)
+        assert report.restored
+        assert "e" not in report.layers_added
+
+    def test_budget_exhaustion(self):
+        patch = rotated_surface_code(5)
+        defect_removal(patch, [(5, 5)])
+        report = adaptive_enlargement(patch, max_layers_per_side=0)
+        assert not report.restored
+        assert report.layers_added == []
+
+    def test_qubits_added_counted(self):
+        patch = rotated_surface_code(5)
+        defect_removal(patch, [(5, 5)])
+        before = patch.physical_qubit_count()
+        report = adaptive_enlargement(patch)
+        assert report.qubits_added == patch.physical_qubit_count() - before
+        assert report.qubits_added > 0
+
+
+class TestCodeDeformationUnit:
+    def test_end_to_end_restoration(self):
+        unit = CodeDeformationUnit(max_layers_per_side=3)
+        patch = rotated_surface_code(5)
+        report = unit.deform(patch, [(5, 5), (4, 6), (1, 5)])
+        check_code(patch.code)
+        assert report.restored
+        assert report.final_distance >= (5, 5)
+
+    def test_instruction_trace(self):
+        unit = CodeDeformationUnit(max_layers_per_side=3)
+        patch = rotated_surface_code(5)
+        report = unit.deform(patch, [(5, 5)])
+        assert any("DataQ_RM" in i for i in report.instructions)
+        assert any("PatchQ_ADD" in i for i in report.instructions)
+
+    def test_removal_only_mode(self):
+        unit = CodeDeformationUnit(enlarge=False)
+        patch = rotated_surface_code(5)
+        report = unit.deform(patch, [(5, 5)])
+        assert report.enlargement is None
+        assert report.final_distance == (4, 4)
+        assert not report.restored
+
+    def test_repeated_cycles(self):
+        """Defects arriving over several cycles (dynamic operation)."""
+        unit = CodeDeformationUnit(max_layers_per_side=4)
+        patch = rotated_surface_code(5)
+        unit.deform(patch, [(5, 5)])
+        report = unit.deform(patch, [(7, 7)])
+        check_code(patch.code)
+        assert report.final_distance >= (5, 5)
+
+    def test_adaptive_uses_fewer_qubits_than_doubling(self):
+        """Q3DE-style doubling vs adaptive growth (fig. 7b / issue B.2)."""
+        unit = CodeDeformationUnit(max_layers_per_side=5)
+        patch = rotated_surface_code(5)
+        report = unit.deform(patch, [(5, 5)])
+        doubled_cost = 2 * (2 * 5 * 5)  # doubling a ~2d^2 patch
+        assert report.enlargement.qubits_added < doubled_cost / 2

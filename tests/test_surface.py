@@ -1,0 +1,160 @@
+"""Tests for rotated surface code construction and geometry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import code_distance, check_code
+from repro.pauli import commutes
+from repro.surface import (
+    face_neighbors,
+    face_type,
+    is_data_coord,
+    is_face_coord,
+    rotated_rect_patch,
+    rotated_surface_code,
+)
+
+
+class TestLattice:
+    def test_data_coord_parity(self):
+        assert is_data_coord((1, 1))
+        assert not is_data_coord((0, 0))
+        assert not is_data_coord((1, 2))
+
+    def test_face_coord_parity(self):
+        assert is_face_coord((2, 4))
+        assert not is_face_coord((1, 1))
+
+    def test_face_type_checkerboard(self):
+        assert face_type((2, 0)) == "X"
+        assert face_type((2, 2)) == "Z"
+        assert face_type((4, 2)) == "X"
+
+    def test_face_type_rejects_data(self):
+        with pytest.raises(ValueError):
+            face_type((1, 1))
+
+    def test_face_neighbors_are_diagonal(self):
+        assert set(face_neighbors((2, 2))) == {(1, 1), (1, 3), (3, 1), (3, 3)}
+
+
+class TestSquarePatch:
+    @pytest.mark.parametrize("d", [2, 3, 4, 5])
+    def test_counts(self, d):
+        patch = rotated_surface_code(d)
+        assert patch.code.n == d * d
+        assert len(patch.code.checks) == d * d - 1
+
+    @pytest.mark.parametrize("d", [2, 3, 4, 5])
+    def test_balanced_check_types(self, d):
+        patch = rotated_surface_code(d)
+        x = sum(1 for c in patch.code.checks.values() if c.basis == "X")
+        z = sum(1 for c in patch.code.checks.values() if c.basis == "Z")
+        assert abs(x - z) <= 1
+        assert x + z == d * d - 1
+
+    @pytest.mark.parametrize("d", [2, 3, 4, 5])
+    def test_distance(self, d):
+        patch = rotated_surface_code(d)
+        assert code_distance(patch.code) == (d, d)
+
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_distance_matches_brute_force(self, d):
+        patch = rotated_surface_code(d)
+        assert code_distance(patch.code, exact=True) == (d, d)
+
+    @pytest.mark.parametrize("d", [3, 5])
+    def test_validity(self, d):
+        check_code(rotated_surface_code(d).code)
+
+    def test_logicals_anticommute(self):
+        patch = rotated_surface_code(5)
+        assert not commutes(patch.code.logical_x, patch.code.logical_z)
+
+    def test_origin_offset(self):
+        patch = rotated_surface_code(3, origin=(4, 8))
+        check_code(patch.code)
+        assert code_distance(patch.code) == (3, 3)
+        assert all(q[0] >= 5 and q[1] >= 9 for q in patch.code.data_qubits)
+
+    def test_rejects_odd_origin(self):
+        with pytest.raises(ValueError):
+            rotated_rect_patch(3, 3, origin=(1, 0))
+
+    def test_rejects_tiny_distance(self):
+        with pytest.raises(ValueError):
+            rotated_surface_code(1)
+
+
+class TestRectPatch:
+    @pytest.mark.parametrize("w,h", [(3, 5), (5, 3), (2, 4), (4, 2), (3, 4)])
+    def test_rect_distances(self, w, h):
+        patch = rotated_rect_patch(w, h)
+        check_code(patch.code)
+        dx, dz = code_distance(patch.code)
+        assert dz == w
+        assert dx == h
+
+    @pytest.mark.parametrize("origin", [(0, 0), (2, 0), (0, 2), (2, 2), (-2, -4)])
+    def test_rect_distance_origin_invariant(self, origin):
+        patch = rotated_rect_patch(3, 4, origin=origin)
+        check_code(patch.code)
+        assert code_distance(patch.code) == (4, 3)
+
+    @given(
+        w=st.integers(2, 5),
+        h=st.integers(2, 5),
+        ox=st.integers(-3, 3),
+        oy=st.integers(-3, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_rect_property(self, w, h, ox, oy):
+        patch = rotated_rect_patch(w, h, origin=(2 * ox, 2 * oy))
+        check_code(patch.code)
+        assert code_distance(patch.code) == (h, w)
+
+
+class TestClassification:
+    def test_interior_data(self):
+        patch = rotated_surface_code(5)
+        assert patch.classify((5, 5)) == ("data", "interior")
+
+    def test_west_edge_is_edge_z(self):
+        patch = rotated_surface_code(5)
+        assert patch.classify((1, 5)) == ("data", "edge_z")
+
+    def test_north_edge_is_edge_x(self):
+        patch = rotated_surface_code(5)
+        assert patch.classify((5, 9)) == ("data", "edge_x")
+
+    def test_corner(self):
+        patch = rotated_surface_code(5)
+        assert patch.classify((1, 1)) == ("data", "corner")
+
+    def test_interior_syndrome(self):
+        patch = rotated_surface_code(5)
+        kind, region = patch.classify((4, 6))
+        assert kind == "syndrome" and region == "interior"
+
+    def test_boundary_syndrome(self):
+        patch = rotated_surface_code(5)
+        kind, region = patch.classify((2, 0))
+        assert kind == "syndrome" and region != "interior"
+
+    def test_classify_rejects_inactive(self):
+        patch = rotated_surface_code(3)
+        with pytest.raises(ValueError):
+            patch.classify((99, 99))
+
+    def test_physical_qubit_count(self):
+        patch = rotated_surface_code(3)
+        assert patch.physical_qubit_count() == 9 + 8
+
+    def test_copy_is_independent(self):
+        patch = rotated_surface_code(3)
+        clone = patch.copy()
+        clone.code.data_qubits.discard((1, 1))
+        clone.defective_data.add((1, 1))
+        assert (1, 1) in patch.code.data_qubits
+        assert not patch.defective_data

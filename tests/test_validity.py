@@ -1,0 +1,159 @@
+"""Tests for the code validity audits (Theorem 1 / Definition 4)."""
+
+import pytest
+
+from repro.codes import (
+    Check,
+    StabilizerGenerator,
+    SubsystemCode,
+    ValidityError,
+    check_code,
+    check_generator_representation,
+    check_measurement_set,
+)
+from repro.codes.validity import check_no_bare_logicals
+from repro.pauli import PauliOp
+from repro.surface import rotated_surface_code
+
+Q = [(1, 1), (1, 3), (3, 1), (3, 3)]
+
+
+def four_qubit_code():
+    """The [[4,1,2]] subsystem-flavoured toy code."""
+    sx = StabilizerGenerator(PauliOp.x_on(Q), "X", "sx", ("sx",))
+    sz = StabilizerGenerator(PauliOp.z_on(Q), "Z", "sz", ("sz",))
+    checks = [
+        Check(PauliOp.x_on(Q), "X", "sx", ancilla=(0, 0)),
+        Check(PauliOp.z_on(Q), "Z", "sz", ancilla=(2, 2)),
+    ]
+    return SubsystemCode(
+        data_qubits=Q,
+        stabilizers=[sx, sz],
+        checks=checks,
+        logical_x=PauliOp.x_on([Q[0], Q[1]]),
+        logical_z=PauliOp.z_on([Q[0], Q[2]]),
+    )
+
+
+class TestGeneratorRepresentation:
+    def test_valid_code_passes(self):
+        check_generator_representation(four_qubit_code())
+
+    def test_anticommuting_stabilizers_rejected(self):
+        code = four_qubit_code()
+        bad = StabilizerGenerator(PauliOp.z_on([Q[0]]), "Z", "bad", ("bad",))
+        code.stabilizers["bad"] = bad
+        with pytest.raises(ValidityError, match="anticommute"):
+            check_generator_representation(code)
+
+    def test_commuting_logicals_rejected(self):
+        code = four_qubit_code()
+        code.logical_x = PauliOp.x_on([Q[0], Q[1]])
+        code.logical_z = PauliOp.z_on([Q[2], Q[3]])
+        with pytest.raises(ValidityError, match="logical"):
+            check_generator_representation(code)
+
+    def test_logical_in_stabilizer_group_rejected(self):
+        code = four_qubit_code()
+        code.logical_x = PauliOp.x_on(Q)  # equals sx
+        with pytest.raises(ValidityError):
+            check_generator_representation(code)
+
+    def test_logical_on_foreign_qubit_rejected(self):
+        code = four_qubit_code()
+        code.logical_z = PauliOp.z_on([Q[0], Q[2], (99, 99)])
+        with pytest.raises(ValidityError, match="non-code"):
+            check_generator_representation(code)
+
+
+class TestMeasurementSet:
+    def test_valid_code_passes(self):
+        check_measurement_set(four_qubit_code())
+
+    def test_broken_decomposition_rejected(self):
+        code = four_qubit_code()
+        code.stabilizers["sx"].measured_via = ("sz",)
+        with pytest.raises(ValidityError, match="reproduce"):
+            check_measurement_set(code)
+
+    def test_missing_check_rejected(self):
+        code = four_qubit_code()
+        code.stabilizers["sx"].measured_via = ("nope",)
+        with pytest.raises(ValidityError, match="missing"):
+            check_measurement_set(code)
+
+    def test_check_anticommuting_with_logical_rejected(self):
+        code = four_qubit_code()
+        code.checks["rogue"] = Check(
+            PauliOp.z_on([Q[1]]), "Z", "rogue", ancilla=None
+        )
+        with pytest.raises(ValidityError, match="disturb"):
+            check_measurement_set(code)
+
+
+class TestBareLogicalAudit:
+    def test_surface_code_passes(self):
+        check_no_bare_logicals(rotated_surface_code(3).code)
+
+    def test_orphaned_qubit_detected(self):
+        code = rotated_surface_code(3).code
+        # Delete every X generator covering the corner (1, 1).
+        for name in [
+            g.name
+            for g in code.stabilizers.values()
+            if g.basis == "X" and (1, 1) in g.pauli.support
+        ]:
+            del code.stabilizers[name]
+            del code.checks[name]
+        with pytest.raises(ValidityError, match="weight-1"):
+            check_no_bare_logicals(code)
+
+    def test_gauge_covered_qubit_allowed(self):
+        """SyndromeQ_RM's gauge qubits are exempt: their bare errors are
+        gauge operators."""
+        from repro.deform import syndrome_q_rm
+
+        patch = rotated_surface_code(5)
+        syndrome_q_rm(patch, (4, 6))
+        check_no_bare_logicals(patch.code)
+
+
+class TestCheckDataclass:
+    def test_basis_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="basis"):
+            Check(PauliOp.z_on([(1, 1)]), "X", "oops")
+
+    def test_bad_basis_letter_rejected(self):
+        with pytest.raises(ValueError):
+            Check(PauliOp.x_on([(1, 1)]), "W", "oops")
+
+
+class TestSubsystemCodeViews:
+    def test_gauge_ops_after_deformation(self):
+        from repro.deform import data_q_rm
+
+        patch = rotated_surface_code(5)
+        assert patch.code.gauge_ops() == []
+        data_q_rm(patch, (5, 5))
+        # Four truncated plaquettes became gauge operators.
+        assert len(patch.code.gauge_ops()) == 4
+        assert len(patch.code.gauge_ops("X")) == 2
+
+    def test_num_gauge_qubits(self):
+        from repro.deform import data_q_rm
+
+        patch = rotated_surface_code(5)
+        assert patch.code.num_gauge_qubits() == 0
+        data_q_rm(patch, (5, 5))
+        assert patch.code.num_gauge_qubits() == 1
+
+    def test_is_stabilizer(self):
+        code = rotated_surface_code(3).code
+        some = next(iter(code.stabilizers.values())).pauli
+        assert code.is_stabilizer(some)
+        assert not code.is_stabilizer(code.logical_z)
+
+    def test_fresh_name_unique(self):
+        code = rotated_surface_code(3).code
+        names = {code.fresh_name("t") for _ in range(10)}
+        assert len(names) == 10
