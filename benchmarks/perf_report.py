@@ -1,0 +1,159 @@
+"""Decode-pipeline performance report (writes ``BENCH_decode.json``).
+
+Times the three stages every Monte-Carlo figure funnels through, at
+d ∈ {3, 5, 7, 9} on a 25-round Z-memory experiment with the paper's
+standard p = 1e-3 circuit noise:
+
+* ``sample``   — Pauli-frame sampling (shots/sec),
+* ``build``    — code construction + DEM extraction + decoding graph
+                 with all-pairs matrices (builds/sec),
+* ``decode``   — throughput per decoder method (shots/sec), including
+                 ``blossom_legacy``: the seed's per-shot-Dijkstra +
+                 networkx path (``use_matrices=False``, no syndrome
+                 cache), which is the baseline the ≥10× acceptance
+                 criterion is measured against at d = 7.
+
+Run with ``PYTHONPATH=src python benchmarks/perf_report.py``; optional
+``--distances 3,5,7,9`` and ``--out BENCH_decode.json``.  Each record
+is ``{"benchmark", "distance", "method", "shots_per_sec"}`` plus the
+shot/round bookkeeping, so successive PRs can diff throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.decode import MatchingDecoder  # noqa: E402
+from repro.sim import NoiseModel, build_dem, memory_circuit, sample_detectors  # noqa: E402
+from repro.surface import rotated_surface_code  # noqa: E402
+
+ROUNDS = 25
+NOISE_P = 1e-3
+
+#: (timed decode shots, legacy decode shots) per distance — the legacy
+#: path is orders of magnitude slower, so it gets a smaller sample.
+SHOT_PLAN = {3: (8000, 2000), 5: (4000, 600), 7: (3000, 300), 9: (2000, 120)}
+
+
+def _rate(count: int, seconds: float) -> float:
+    return count / seconds if seconds > 0 else float("inf")
+
+
+def profile_distance(distance: int) -> list[dict]:
+    shots, legacy_shots = SHOT_PLAN.get(distance, (1000, 100))
+    records: list[dict] = []
+
+    t0 = time.perf_counter()
+    patch = rotated_surface_code(distance)
+    circuit = memory_circuit(
+        patch.code, "Z", ROUNDS, NoiseModel.uniform(NOISE_P)
+    )
+    dem = build_dem(circuit)
+    decoder = MatchingDecoder(dem)
+    decoder.graph.ensure_matrices()
+    build_seconds = time.perf_counter() - t0
+    records.append(
+        {
+            "benchmark": "build",
+            "distance": distance,
+            "method": "code+dem+graph",
+            "shots_per_sec": _rate(1, build_seconds),
+            "seconds": build_seconds,
+            "rounds": ROUNDS,
+        }
+    )
+
+    t0 = time.perf_counter()
+    detectors, observables = sample_detectors(circuit, shots, seed=11)
+    sample_seconds = time.perf_counter() - t0
+    records.append(
+        {
+            "benchmark": "sample",
+            "distance": distance,
+            "method": "pauli_frame",
+            "shots_per_sec": _rate(shots, sample_seconds),
+            "shots": shots,
+            "rounds": ROUNDS,
+        }
+    )
+
+    methods: list[tuple[str, MatchingDecoder, int]] = [
+        ("blossom", decoder, shots),
+        ("uf", MatchingDecoder(dem, method="uf"), shots),
+        ("greedy", MatchingDecoder(dem, method="greedy"), shots),
+        (
+            "blossom_legacy",
+            MatchingDecoder(dem, use_matrices=False, cache_size=0),
+            legacy_shots,
+        ),
+    ]
+    for name, dec, n in methods:
+        t0 = time.perf_counter()
+        dec.decode_batch(detectors[:n])
+        seconds = time.perf_counter() - t0
+        records.append(
+            {
+                "benchmark": "decode",
+                "distance": distance,
+                "method": name,
+                "shots_per_sec": _rate(n, seconds),
+                "shots": n,
+                "rounds": ROUNDS,
+            }
+        )
+    return records
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--distances", default="3,5,7,9")
+    parser.add_argument("--out", default=None)
+    args = parser.parse_args(argv)
+    distances = [int(d) for d in args.distances.split(",") if d]
+    out_path = Path(
+        args.out
+        if args.out is not None
+        else Path(__file__).resolve().parent.parent / "BENCH_decode.json"
+    )
+
+    all_records: list[dict] = []
+    for d in distances:
+        print(f"profiling d={d} ({ROUNDS} rounds, p={NOISE_P}) ...", flush=True)
+        records = profile_distance(d)
+        all_records.extend(records)
+        by_method = {
+            r["method"]: r["shots_per_sec"]
+            for r in records
+            if r["benchmark"] == "decode"
+        }
+        legacy = by_method.get("blossom_legacy", float("nan"))
+        for method, rate in by_method.items():
+            rel = rate / legacy if legacy else float("nan")
+            print(f"  decode/{method:<15} {rate:>10.1f} shots/s  ({rel:5.1f}x legacy)")
+    out_path.write_text(json.dumps(all_records, indent=2) + "\n")
+    print(f"wrote {out_path} ({len(all_records)} records)")
+
+    d7 = [
+        r
+        for r in all_records
+        if r["benchmark"] == "decode" and r["distance"] == 7
+    ]
+    if d7:
+        rates = {r["method"]: r["shots_per_sec"] for r in d7}
+        speedup = rates["blossom"] / rates["blossom_legacy"]
+        print(
+            f"d=7 blossom speedup over seed implementation: {speedup:.1f}x "
+            f"({'PASS' if speedup >= 10 else 'BELOW'} the >=10x target)"
+        )
+
+
+if __name__ == "__main__":
+    main()

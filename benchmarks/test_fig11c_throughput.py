@@ -12,6 +12,9 @@ from conftest import scaled
 from repro.eval import throughput_experiment
 from repro.eval.throughput import make_task_set
 from repro.layout import LayoutGenerator
+import pytest
+
+pytestmark = pytest.mark.slow
 
 RATES = (0.0, 5e-5, 1e-4, 2e-4)
 

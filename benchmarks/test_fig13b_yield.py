@@ -12,6 +12,9 @@ import numpy as np
 
 from conftest import scaled
 from repro.eval import yield_rate
+import pytest
+
+pytestmark = pytest.mark.slow
 
 PATCH = 13
 TARGET = 9

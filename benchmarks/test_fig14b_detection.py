@@ -13,6 +13,9 @@ from repro.deform import defect_removal
 from repro.eval import memory_experiment
 from repro.sim import NoiseModel
 from repro.surface import rotated_surface_code
+import pytest
+
+pytestmark = pytest.mark.slow
 
 D = 9
 DEFECT_COUNTS = (4, 8)

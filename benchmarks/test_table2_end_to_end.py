@@ -11,6 +11,9 @@ assertions:
 
 from repro.compiler import PAPER_BENCHMARKS
 from repro.eval import evaluate_program
+import pytest
+
+pytestmark = pytest.mark.slow
 
 
 def _run_all():

@@ -1,6 +1,12 @@
-"""Minimum-weight perfect matching decoding (the PyMatching substitute)."""
+"""High-throughput decoding (the PyMatching substitute).
+
+Exact blossom matching, nearest-neighbour greedy, and an almost-linear
+union-find decoder behind one batched, syndrome-cached front-end, all
+reading pairwise path data from precomputed all-pairs matrices.
+"""
 
 from repro.decode.mwpm import MatchingDecoder
 from repro.decode.graph import DecodingGraph
+from repro.decode.uf import UnionFindDecoder
 
-__all__ = ["MatchingDecoder", "DecodingGraph"]
+__all__ = ["MatchingDecoder", "DecodingGraph", "UnionFindDecoder"]

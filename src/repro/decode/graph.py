@@ -1,11 +1,35 @@
-"""Weighted decoding graph built from a detector error model.
+"""Weighted decoding graph with precomputed all-pairs path matrices.
 
 Nodes are detector indices plus a virtual ``boundary`` node; each
 graphlike mechanism (one or two flipped detectors) becomes an edge whose
 weight is the log-likelihood ratio ``ln((1−p)/p)`` and which carries the
 observable-flip parity of the underlying physical error.  Parallel
-mechanisms between the same endpoints are merged by probability
-combination before weighting, exactly as PyMatching does.
+mechanisms between the same endpoints are merged: probabilities combine
+as independent channels (``p ← p₁(1−p₂) + p₂(1−p₁)``) while the
+observable parity is taken from the *likeliest single channel* — the
+"dominant channel wins" rule.  (The seed implementation compared each
+new channel against the running combined probability, so the winner
+depended on insertion order; the rule is now order-independent and
+pinned by a test.)
+
+The graph is stored twice:
+
+* as compact numpy edge arrays feeding the precomputed **all-pairs
+  shortest-path matrices** — a ``float64`` distance matrix and a
+  ``uint8`` observable-parity matrix over ``num_detectors + 1`` nodes
+  (the last row/column is the boundary).  Decoders read pairwise
+  distances and path parities as O(1) array lookups instead of running
+  a Dijkstra per shot.  Matrices are built lazily on first use and only
+  below ``matrix_node_limit`` nodes; larger graphs fall back to the
+  legacy per-source Dijkstra.
+* as a ``networkx.Graph`` for the legacy per-source path queries
+  (:meth:`shortest`, :meth:`path_observable_parity`) that the
+  agreement tests and the pre-matrix decode path still use.
+
+The parity matrix is derived from the Dijkstra predecessor matrix by
+pointer doubling: start with each node's one-hop parity to its
+predecessor, then repeatedly square the ancestor pointers while XORing
+parities, so the full matrix costs O(n² log n) vectorised byte ops.
 """
 
 from __future__ import annotations
@@ -13,44 +37,145 @@ from __future__ import annotations
 import math
 
 import networkx as nx
+import numpy as np
 
 from repro.sim.dem import DetectorErrorModel
 
 BOUNDARY = "boundary"
 
-__all__ = ["DecodingGraph", "BOUNDARY"]
+#: Above this many nodes (detectors + boundary) the all-pairs matrices
+#: are skipped and per-source Dijkstra is used on demand instead.
+MATRIX_NODE_LIMIT = 4096
+
+__all__ = ["DecodingGraph", "BOUNDARY", "MATRIX_NODE_LIMIT"]
 
 
 class DecodingGraph:
     """Matching graph over detectors with precomputed shortest paths."""
 
-    def __init__(self, dem: DetectorErrorModel, *, min_p: float = 1e-12) -> None:
+    def __init__(
+        self,
+        dem: DetectorErrorModel,
+        *,
+        min_p: float = 1e-12,
+        matrix_node_limit: int = MATRIX_NODE_LIMIT,
+    ) -> None:
         self.dem = dem
+        self.num_detectors = dem.num_detectors
+        self.boundary_index = dem.num_detectors
+        self.matrix_node_limit = matrix_node_limit
+
         graph = nx.Graph()
         graph.add_nodes_from(range(dem.num_detectors))
         graph.add_node(BOUNDARY)
-        combined: dict[tuple, tuple[float, bool]] = {}
+        # key -> [combined probability, best single-channel p, its parity]
+        combined: dict[tuple, list] = {}
         for mech in dem.graphlike():
             if len(mech.detectors) == 1:
                 key = (mech.detectors[0], BOUNDARY)
             else:
                 a, b = sorted(mech.detectors)
                 key = (a, b)
-            p_old, obs_old = combined.get(key, (0.0, False))
-            if p_old == 0.0:
-                combined[key] = (mech.probability, mech.observable_flip)
+            entry = combined.get(key)
+            if entry is None:
+                combined[key] = [
+                    mech.probability,
+                    mech.probability,
+                    mech.observable_flip,
+                ]
             else:
-                # Keep the likelier channel's observable parity; combine p.
-                p_new = p_old + mech.probability - 2 * p_old * mech.probability
-                obs = obs_old if p_old >= mech.probability else mech.observable_flip
-                combined[key] = (p_new, obs)
-        for (u, v), (p, obs) in combined.items():
+                entry[0] = (
+                    entry[0] + mech.probability - 2 * entry[0] * mech.probability
+                )
+                if mech.probability > entry[1]:
+                    entry[1] = mech.probability
+                    entry[2] = mech.observable_flip
+        edges_u: list[int] = []
+        edges_v: list[int] = []
+        weights: list[float] = []
+        parities: list[int] = []
+        for (u, v), (p, _, obs) in combined.items():
             p = min(max(p, min_p), 0.5 - min_p)
             weight = math.log((1 - p) / p)
             graph.add_edge(u, v, weight=weight, probability=p, observable=obs)
+            edges_u.append(self.boundary_index if u == BOUNDARY else u)
+            edges_v.append(self.boundary_index if v == BOUNDARY else v)
+            weights.append(weight)
+            parities.append(1 if obs else 0)
         self.graph = graph
+        self.edge_endpoints = (
+            np.array(edges_u, dtype=np.int64),
+            np.array(edges_v, dtype=np.int64),
+        )
+        self.edge_weights = np.array(weights, dtype=np.float64)
+        self.edge_parities = np.array(parities, dtype=np.uint8)
         self._path_cache: dict = {}
+        self._matrices: tuple[np.ndarray, np.ndarray] | None = None
 
+    # -- precomputed matrices ------------------------------------------
+    @property
+    def use_matrices(self) -> bool:
+        """Whether the all-pairs matrices are (to be) available."""
+        return self.num_detectors + 1 <= self.matrix_node_limit
+
+    def ensure_matrices(self) -> tuple[np.ndarray, np.ndarray]:
+        """Distance and observable-parity matrices, built on first use.
+
+        Returns ``(dist, parity)`` with shape ``(n+1, n+1)`` where index
+        ``n`` is the boundary; ``dist`` is ``inf`` for unreachable pairs
+        and ``parity[u, v]`` is the XOR of edge observable bits along
+        one shortest ``u``–``v`` path.
+        """
+        if self._matrices is None:
+            self._matrices = self._build_matrices()
+        return self._matrices
+
+    def _build_matrices(self) -> tuple[np.ndarray, np.ndarray]:
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import dijkstra
+
+        n1 = self.num_detectors + 1
+        us, vs = self.edge_endpoints
+        if us.size == 0:
+            dist = np.full((n1, n1), np.inf)
+            np.fill_diagonal(dist, 0.0)
+            return dist, np.zeros((n1, n1), dtype=np.uint8)
+        adj = csr_matrix((self.edge_weights, (us, vs)), shape=(n1, n1))
+        dist, preds = dijkstra(adj, directed=False, return_predecessors=True)
+
+        edge_obs = np.zeros((n1, n1), dtype=np.uint8)
+        edge_obs[us, vs] = self.edge_parities
+        edge_obs[vs, us] = self.edge_parities
+
+        cols = np.arange(n1)
+        anc = preds.astype(np.int64)
+        no_pred = anc < 0  # source itself or unreachable: self-pointer
+        anc[no_pred] = np.broadcast_to(cols, anc.shape)[no_pred]
+        parity = edge_obs[anc, cols[None, :]]
+        parity[no_pred] = 0
+        # Pointer doubling: parity[s, t] accumulates the path parity from
+        # t up 2^k ancestors per step; self-pointers carry parity 0 so
+        # converged entries are XOR-stable.
+        for _ in range(max(1, n1.bit_length())):
+            parity ^= np.take_along_axis(parity, anc, axis=1)
+            anc = np.take_along_axis(anc, anc, axis=1)
+        return dist, parity
+
+    def node_index(self, node) -> int:
+        """Matrix index of a graph node (detector int or ``BOUNDARY``)."""
+        return self.boundary_index if node == BOUNDARY else int(node)
+
+    def distance(self, u, v) -> float:
+        """Shortest-path weight between two nodes (matrix lookup)."""
+        dist, _ = self.ensure_matrices()
+        return float(dist[self.node_index(u), self.node_index(v)])
+
+    def parity(self, u, v) -> int:
+        """Observable parity along one shortest ``u``–``v`` path."""
+        _, par = self.ensure_matrices()
+        return int(par[self.node_index(u), self.node_index(v)])
+
+    # -- legacy per-source queries -------------------------------------
     def shortest(self, source) -> tuple[dict, dict]:
         """Dijkstra distances and paths from ``source`` (cached)."""
         if source not in self._path_cache:

@@ -1,7 +1,7 @@
 """Monte-Carlo logical-error-rate measurement (fig. 11a, 14a, 14b).
 
 Couples the syndrome-circuit generator, the Pauli-frame sampler and the
-MWPM decoder into the standard memory-experiment harness:
+matching decoder into the standard memory-experiment harness:
 
 1. build a ``basis``-memory circuit for the (possibly deformed) code,
 2. extract its detector error model and decoding graph,
@@ -10,17 +10,110 @@ MWPM decoder into the standard memory-experiment harness:
 
 Untreated defective qubits are passed through to the circuit generator,
 which injects the paper's ≈ 50 % defect noise on them.
+
+Decoder construction is the expensive part of an experiment — DEM
+extraction propagates every elementary mechanism through the circuit
+and the decoding graph precomputes all-pairs path matrices — so
+``(code, basis, rounds, noise, defects)``-keyed decoders are memoised
+in a bounded cache.  Sweeps that revisit the same configuration (the
+Z/X bases of :func:`logical_error_rate`, repeated calls while scanning
+shots or defect samples) pay for DEM + graph construction once.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.codes import SubsystemCode
 from repro.decode import MatchingDecoder
 from repro.sim import NoiseModel, build_dem, memory_circuit, sample_detectors
 
-__all__ = ["MemoryResult", "memory_experiment", "logical_error_rate"]
+__all__ = [
+    "MemoryResult",
+    "memory_experiment",
+    "logical_error_rate",
+    "clear_decoder_cache",
+]
+
+#: Bounded decoder memo: cache key -> (code ref, MatchingDecoder).
+#: The code reference keeps the keyed ``id(code)`` from being reused by
+#: a different object while its entry is alive.
+_DECODER_CACHE: OrderedDict[tuple, tuple[SubsystemCode, MatchingDecoder]] = (
+    OrderedDict()
+)
+_DECODER_CACHE_SIZE = 32
+
+
+def clear_decoder_cache() -> None:
+    """Drop all memoised decoders (mainly for tests and benchmarks)."""
+    _DECODER_CACHE.clear()
+
+
+def _code_fingerprint(code: SubsystemCode) -> int:
+    """Content hash of a code's measured structure.
+
+    The deformation layer mutates codes in place (check substitution,
+    stabilizer rewrites), so identity alone cannot key the cache.
+    """
+    return hash(
+        (
+            frozenset((name, c.pauli, c.basis) for name, c in code.checks.items()),
+            frozenset(
+                (name, s.pauli, s.measured_via)
+                for name, s in code.stabilizers.items()
+            ),
+            code.logical_x,
+            code.logical_z,
+        )
+    )
+
+
+def _cached_decoder(
+    code: SubsystemCode,
+    basis: str,
+    rounds: int,
+    noise: NoiseModel,
+    defective_data: set | None,
+    defective_ancillas: set | None,
+    method: str,
+    circuit=None,
+) -> MatchingDecoder:
+    """Decoder for one experiment configuration, memoised.
+
+    ``circuit`` may supply an already-built memory circuit matching the
+    defect arguments, saving a rebuild on cache misses.
+    """
+    key = (
+        id(code),
+        _code_fingerprint(code),
+        basis,
+        rounds,
+        noise,
+        frozenset(defective_data or ()),
+        frozenset(defective_ancillas or ()),
+        method,
+    )
+    entry = _DECODER_CACHE.get(key)
+    if entry is not None:
+        _DECODER_CACHE.move_to_end(key)
+        return entry[1]
+    if circuit is None:
+        circuit = memory_circuit(
+            code,
+            basis,
+            rounds,
+            noise,
+            defective_data=defective_data,
+            defective_ancillas=defective_ancillas,
+        )
+    decoder = MatchingDecoder(build_dem(circuit), method=method)
+    _DECODER_CACHE[key] = (code, decoder)
+    if len(_DECODER_CACHE) > _DECODER_CACHE_SIZE:
+        _DECODER_CACHE.popitem(last=False)
+    return decoder
 
 
 @dataclass(frozen=True)
@@ -78,12 +171,24 @@ def memory_experiment(
         defective_data=defective_data,
         defective_ancillas=defective_ancillas,
     )
-    if decoder_aware_of_defects or not (defective_data or defective_ancillas):
-        dem = build_dem(circuit)
+    if decoder_aware_of_defects:
+        decoder_defects = (defective_data, defective_ancillas)
+        decoder_circuit = circuit
+    elif not (defective_data or defective_ancillas):
+        decoder_defects = (None, None)
+        decoder_circuit = circuit  # clean run: the sampled circuit is clean
     else:
-        clean = memory_circuit(code, basis, rounds, noise)
-        dem = build_dem(clean)
-    decoder = MatchingDecoder(dem, method=decoder_method)
+        decoder_defects = (None, None)
+        decoder_circuit = None  # decoder sees the clean model, not the strike
+    decoder = _cached_decoder(
+        code,
+        basis,
+        rounds,
+        noise,
+        *decoder_defects,
+        decoder_method,
+        circuit=decoder_circuit,
+    )
     detectors, observables = sample_detectors(circuit, shots, seed=seed)
     predictions = decoder.decode_batch(detectors)
     actual = (observables.sum(axis=1) % 2).astype(predictions.dtype)
@@ -93,7 +198,7 @@ def memory_experiment(
         rounds=rounds,
         shots=shots,
         errors=errors,
-        dropped_hyperedges=dem.dropped_hyperedges,
+        dropped_hyperedges=decoder.graph.dem.dropped_hyperedges,
     )
 
 
@@ -113,7 +218,18 @@ def logical_error_rate(
 
     The total logical error rate is approximately the sum of the X- and
     Z-memory rates (independent failure mechanisms to first order).
+    Each basis samples an independent random stream derived from
+    ``seed`` (child seeds via ``np.random.SeedSequence.spawn``), so the
+    two memory experiments are decorrelated even at a fixed seed.
     """
+    if seed is None:
+        basis_seeds = {"Z": None, "X": None}
+    else:
+        z_child, x_child = np.random.SeedSequence(seed).spawn(2)
+        basis_seeds = {
+            "Z": int(z_child.generate_state(1)[0]),
+            "X": int(x_child.generate_state(1)[0]),
+        }
     total = 0.0
     for basis in ("Z", "X"):
         result = memory_experiment(
@@ -122,7 +238,7 @@ def logical_error_rate(
             noise,
             rounds=rounds,
             shots=shots,
-            seed=seed,
+            seed=basis_seeds[basis],
             defective_data=defective_data,
             defective_ancillas=defective_ancillas,
             decoder_method=decoder_method,

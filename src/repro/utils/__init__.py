@@ -8,6 +8,8 @@ from repro.utils.gf2 import (
     gf2_in_rowspace,
     gf2_row_reduce,
     gf2_independent_rows,
+    gf2_pack,
+    gf2_unpack,
 )
 
 __all__ = [
@@ -18,4 +20,6 @@ __all__ = [
     "gf2_in_rowspace",
     "gf2_row_reduce",
     "gf2_independent_rows",
+    "gf2_pack",
+    "gf2_unpack",
 ]

@@ -154,3 +154,69 @@ class TestIndependentRows:
         assert len(kept) == gf2_rank(m)
         if kept:
             assert gf2_rank(m[kept]) == len(kept)
+
+
+class TestPackedBackend:
+    """The word-packed elimination must match the dense loop exactly."""
+
+    wide_matrices = arrays(
+        dtype=np.uint8,
+        shape=st.tuples(st.integers(1, 24), st.integers(1, 140)),
+        elements=st.integers(0, 1),
+    )
+
+    @staticmethod
+    def _both_backends(fn, m):
+        import repro.utils.gf2 as gf2mod
+
+        saved = gf2mod.PACKED_MIN_COLS
+        try:
+            gf2mod.PACKED_MIN_COLS = 10**9
+            dense = fn(m)
+            gf2mod.PACKED_MIN_COLS = 1
+            packed = fn(m)
+        finally:
+            gf2mod.PACKED_MIN_COLS = saved
+        return dense, packed
+
+    def test_pack_roundtrip(self):
+        from repro.utils import gf2_pack, gf2_unpack
+
+        rng = np.random.default_rng(0)
+        m = rng.integers(0, 2, size=(13, 203), dtype=np.uint8)
+        assert (gf2_unpack(gf2_pack(m), 203) == m).all()
+
+    def test_pack_word_layout(self):
+        from repro.utils import gf2_pack
+
+        row = np.zeros((1, 130), dtype=np.uint8)
+        row[0, 0] = 1    # bit 0 of word 0
+        row[0, 64] = 1   # bit 0 of word 1
+        row[0, 129] = 1  # bit 1 of word 2
+        packed = gf2_pack(row)
+        assert packed.shape == (1, 3)
+        assert packed[0, 0] == 1 and packed[0, 1] == 1 and packed[0, 2] == 2
+
+    @given(wide_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_elimination_matches_dense(self, m):
+        (de, dp), (pe, pp) = self._both_backends(gf2_gaussian_elimination, m)
+        assert dp == pp
+        assert (de == pe).all()
+
+    @given(wide_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_row_reduce_matches_dense(self, m):
+        (dr, dp), (pr, pp) = self._both_backends(gf2_row_reduce, m)
+        assert dp == pp
+        assert (dr == pr).all()
+
+    @given(wide_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_rank_and_nullspace_consistent(self, m):
+        dense_rank, packed_rank = self._both_backends(gf2_rank, m)
+        assert dense_rank == packed_rank
+        dense_ns, packed_ns = self._both_backends(gf2_nullspace, m)
+        assert (dense_ns == packed_ns).all()
+        if packed_ns.size:
+            assert not ((packed_ns @ m.T) % 2).any()
