@@ -38,12 +38,8 @@ __all__ = [
     "clear_decoder_cache",
 ]
 
-#: Bounded decoder memo: cache key -> (code ref, MatchingDecoder).
-#: The code reference keeps the keyed ``id(code)`` from being reused by
-#: a different object while its entry is alive.
-_DECODER_CACHE: OrderedDict[tuple, tuple[SubsystemCode, MatchingDecoder]] = (
-    OrderedDict()
-)
+#: Bounded decoder memo: content-derived cache key -> MatchingDecoder.
+_DECODER_CACHE: OrderedDict[tuple, MatchingDecoder] = OrderedDict()
 _DECODER_CACHE_SIZE = 32
 
 
@@ -52,22 +48,26 @@ def clear_decoder_cache() -> None:
     _DECODER_CACHE.clear()
 
 
-def _code_fingerprint(code: SubsystemCode) -> int:
-    """Content hash of a code's measured structure.
+def _code_fingerprint(code: SubsystemCode) -> tuple:
+    """Content fingerprint of a code's measured structure.
 
     The deformation layer mutates codes in place (check substitution,
-    stabilizer rewrites), so identity alone cannot key the cache.
+    stabilizer rewrites), so identity cannot key the cache; and sweeps
+    rebuild content-identical code objects (a fresh ``SubsystemCode``
+    per defect sample), so identity must not *miss* either.  The tuple
+    itself is the key component — collision-safe, unlike ``hash()``.
     """
-    return hash(
-        (
-            frozenset((name, c.pauli, c.basis) for name, c in code.checks.items()),
-            frozenset(
-                (name, s.pauli, s.measured_via)
-                for name, s in code.stabilizers.items()
-            ),
-            code.logical_x,
-            code.logical_z,
-        )
+    return (
+        tuple(code.qubit_order()),  # circuit qubit indexing follows this
+        frozenset(
+            (name, c.pauli, c.basis, c.ancilla) for name, c in code.checks.items()
+        ),
+        frozenset(
+            (name, s.pauli, s.measured_via)
+            for name, s in code.stabilizers.items()
+        ),
+        code.logical_x,
+        code.logical_z,
     )
 
 
@@ -87,7 +87,6 @@ def _cached_decoder(
     defect arguments, saving a rebuild on cache misses.
     """
     key = (
-        id(code),
         _code_fingerprint(code),
         basis,
         rounds,
@@ -96,10 +95,10 @@ def _cached_decoder(
         frozenset(defective_ancillas or ()),
         method,
     )
-    entry = _DECODER_CACHE.get(key)
-    if entry is not None:
+    decoder = _DECODER_CACHE.get(key)
+    if decoder is not None:
         _DECODER_CACHE.move_to_end(key)
-        return entry[1]
+        return decoder
     if circuit is None:
         circuit = memory_circuit(
             code,
@@ -110,7 +109,7 @@ def _cached_decoder(
             defective_ancillas=defective_ancillas,
         )
     decoder = MatchingDecoder(build_dem(circuit), method=method)
-    _DECODER_CACHE[key] = (code, decoder)
+    _DECODER_CACHE[key] = decoder
     if len(_DECODER_CACHE) > _DECODER_CACHE_SIZE:
         _DECODER_CACHE.popitem(last=False)
     return decoder

@@ -1,15 +1,31 @@
-"""Detector error model (DEM) extraction by exhaustive error propagation.
+"""Detector error model (DEM) extraction exploiting GF(2) linearity.
 
 Each stochastic channel in a circuit is expanded into its elementary
-Pauli mechanisms (X/Y/Z components with their probabilities); every
-mechanism is propagated through the rest of the circuit — all of them in
-one vectorised pass — to find which detectors and observables it flips.
-Mechanisms with identical signatures are merged by probability
-combination, yielding the weighted decoding (hyper)graph the MWPM
-decoder consumes.
+Pauli mechanisms (X/Y/Z components with their probabilities).  Frame
+propagation is linear over GF(2), so instead of propagating every
+mechanism as its own pseudo-shot, the builder propagates only the
+**elementary basis injections** — a deduplicated ``X_q`` / ``Z_q`` at
+each (noise position, qubit) — through the packed bitplane engine
+(:func:`repro.sim.frame.propagate_injections_packed`, one bit column
+per injection), then composes every mechanism's detector/observable
+signature by XOR of its basis columns:
 
-This mirrors what Stim's ``circuit.detector_error_model()`` does for the
-same class of circuits.
+* a ``Y`` is ``X ⊕ Z``;
+* a two-qubit Pauli is the XOR of its single-qubit parts;
+* a ``DEPOLARIZE2`` pair needs 4 basis injections instead of 15
+  mechanism rows (and shares them with every other channel touching
+  the same position/qubit).
+
+Mechanisms with identical signatures are then merged by probability
+combination in one vectorised pass (first-appearance order, identical
+to the legacy sequential merge since ``p ← p₁(1−p₂) + p₂(1−p₁)`` is
+``(1 − ∏(1−2pᵢ))/2``), yielding the weighted decoding (hyper)graph the
+MWPM decoder consumes.  The propagate-every-mechanism path is kept as
+``build_dem(..., method="legacy")``; ``tests/test_sim_packed.py`` pins
+the two paths mechanism-for-mechanism against each other.
+
+This mirrors what Stim's ``circuit.detector_error_model()`` does for
+the same class of circuits.
 """
 
 from __future__ import annotations
@@ -19,8 +35,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.sim.circuit import Circuit
+from repro.utils.gf2 import gf2_pack, gf2_unpack
 
 __all__ = ["ErrorMechanism", "DetectorErrorModel", "build_dem"]
+
+#: Basis injections composing each Pauli letter.
+_LETTER_BASES = {"X": ("X",), "Z": ("Z",), "Y": ("X", "Z")}
 
 
 @dataclass(frozen=True)
@@ -87,12 +107,139 @@ def _expand_channels(circuit: Circuit) -> list[tuple[int, dict[int, str], float]
     return mechanisms
 
 
-def build_dem(circuit: Circuit, *, merge: bool = True) -> DetectorErrorModel:
+def _mechanism_signatures(
+    circuit: Circuit, raw: list[tuple[int, dict[int, str], float]]
+) -> np.ndarray:
+    """Packed (detectors‖observables) signature words, one row per mechanism.
+
+    Deduplicates the elementary basis injections across all mechanisms,
+    propagates them in one packed pass, transposes the result to
+    per-injection signature rows, and XOR-composes each mechanism from
+    its (at most 4) basis rows.
+    """
+    from repro.sim.frame import propagate_injections_packed
+
+    inj_of: dict[tuple[int, int, str], int] = {}
+    mech_inj: list[list[int]] = []
+    for pos, pauli, _ in raw:
+        idxs: list[int] = []
+        for q, letter in pauli.items():
+            for basis in _LETTER_BASES[letter]:
+                key = (pos, q, basis)
+                j = inj_of.get(key)
+                if j is None:
+                    j = len(inj_of)
+                    inj_of[key] = j
+                idxs.append(j)
+        mech_inj.append(idxs)
+
+    injections = list(inj_of)
+    det_words, obs_words = propagate_injections_packed(circuit, injections)
+    num_inj = len(injections)
+
+    # Transpose bit-column-per-injection words into one packed
+    # (detector bits ‖ observable bits) signature row per injection.
+    parts = []
+    for words, n_bits in (
+        (det_words, circuit.num_detectors),
+        (obs_words, circuit.num_observables),
+    ):
+        if n_bits:
+            parts.append(gf2_pack(gf2_unpack(words, num_inj).T))
+        else:
+            parts.append(np.zeros((num_inj, 0), dtype=np.uint64))
+    sig = np.concatenate(parts, axis=1)
+    # Padding row: composition below gathers index num_inj for "no injection".
+    sig = np.concatenate([sig, np.zeros((1, sig.shape[1]), dtype=np.uint64)])
+
+    width = max((len(idxs) for idxs in mech_inj), default=0)
+    index = np.full((len(raw), width), num_inj, dtype=np.intp)
+    for k, idxs in enumerate(mech_inj):
+        index[k, : len(idxs)] = idxs
+    mech_sig = sig[index[:, 0]] if width else np.zeros(
+        (len(raw), sig.shape[1]), dtype=np.uint64
+    )
+    for col in range(1, width):
+        mech_sig ^= sig[index[:, col]]
+    return mech_sig
+
+
+def _det_words(circuit: Circuit) -> int:
+    return (circuit.num_detectors + 63) // 64 if circuit.num_detectors else 0
+
+
+def build_dem(
+    circuit: Circuit, *, merge: bool = True, method: str = "packed"
+) -> DetectorErrorModel:
     """Extract the detector error model of ``circuit``.
 
     With ``merge=True`` mechanisms with identical (detectors, observable)
-    signatures are combined via ``p ← p₁(1−p₂) + p₂(1−p₁)``.
+    signatures are combined via ``p ← p₁(1−p₂) + p₂(1−p₁)``; with
+    ``merge=False`` probabilities are summed (clipped at 1).
+    ``method="packed"`` (default) composes signatures from propagated
+    basis injections; ``method="legacy"`` propagates every mechanism as
+    its own pseudo-shot — the reference both paths are tested against.
     """
+    if method == "legacy":
+        return _build_dem_legacy(circuit, merge=merge)
+    if method != "packed":
+        raise ValueError(f"unknown DEM method {method!r}")
+
+    raw = _expand_channels(circuit)
+    if not raw:
+        return DetectorErrorModel([], circuit.num_detectors, circuit.num_observables)
+
+    mech_sig = _mechanism_signatures(circuit, raw)
+    probs = np.asarray([p for _, _, p in raw])
+
+    keep = mech_sig.any(axis=1)
+    mech_sig = mech_sig[keep]
+    probs = probs[keep]
+    if not len(mech_sig):
+        return DetectorErrorModel([], circuit.num_detectors, circuit.num_observables)
+
+    uniq, first, inverse = np.unique(
+        mech_sig, axis=0, return_index=True, return_inverse=True
+    )
+    if merge:
+        # ∏(1−2pᵢ) per group ≡ the sequential p+p'−2pp' combination.
+        factors = np.ones(len(uniq))
+        np.multiply.at(factors, inverse, 1.0 - 2.0 * probs)
+        merged_p = (1.0 - factors) / 2.0
+    else:
+        merged_p = np.zeros(len(uniq))
+        np.add.at(merged_p, inverse, probs)
+        merged_p = np.minimum(merged_p, 1.0)
+
+    kd = _det_words(circuit)
+    if circuit.num_detectors:
+        det_bits = gf2_unpack(uniq[:, :kd], circuit.num_detectors)
+    else:
+        det_bits = np.zeros((len(uniq), 0), dtype=np.uint8)
+    if circuit.num_observables:
+        obs_any = gf2_unpack(uniq[:, kd:], circuit.num_observables).any(axis=1)
+    else:
+        obs_any = np.zeros(len(uniq), dtype=bool)
+
+    mechanisms = [
+        ErrorMechanism(
+            probability=float(merged_p[g]),
+            detectors=tuple(np.nonzero(det_bits[g])[0].tolist()),
+            observable_flip=bool(obs_any[g]),
+        )
+        for g in np.argsort(first, kind="stable")
+    ]
+    dropped = sum(1 for m in mechanisms if len(m.detectors) > 2)
+    return DetectorErrorModel(
+        mechanisms=mechanisms,
+        num_detectors=circuit.num_detectors,
+        num_observables=circuit.num_observables,
+        dropped_hyperedges=dropped,
+    )
+
+
+def _build_dem_legacy(circuit: Circuit, *, merge: bool) -> DetectorErrorModel:
+    """Propagate every mechanism as a pseudo-shot (reference path)."""
     from repro.sim.frame import FrameSampler
 
     raw = _expand_channels(circuit)

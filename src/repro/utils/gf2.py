@@ -30,6 +30,7 @@ __all__ = [
     "gf2_independent_rows",
     "gf2_pack",
     "gf2_unpack",
+    "gf2_xor_csr",
 ]
 
 #: Matrices at least this many columns wide use the packed backend.
@@ -57,6 +58,24 @@ def gf2_unpack(packed: np.ndarray, num_cols: int) -> np.ndarray:
     """Inverse of :func:`gf2_pack` (truncated back to ``num_cols``)."""
     as_bytes = np.ascontiguousarray(packed).view(np.uint8)
     return np.unpackbits(as_bytes, axis=1, bitorder="little")[:, :num_cols]
+
+
+def gf2_xor_csr(
+    packed: np.ndarray, indices: np.ndarray, offsets: np.ndarray
+) -> np.ndarray:
+    """XOR-reduce groups of packed rows: a GF(2) sparse-matrix product.
+
+    ``indices``/``offsets`` describe a CSR matrix ``S`` over GF(2) (row
+    ``i`` selects ``indices[offsets[i]:offsets[i+1]]``); the result is
+    ``S @ packed`` on bit-packed words, i.e. row ``i`` is the XOR of the
+    selected rows of ``packed``.  Every group must be non-empty (point
+    empty groups at a dedicated all-zero row; ``np.bitwise_xor.reduceat``
+    cannot represent an empty reduction).
+    """
+    n_groups = len(offsets) - 1
+    if n_groups <= 0 or packed.shape[0] == 0:
+        return np.zeros((max(n_groups, 0), packed.shape[1]), dtype=packed.dtype)
+    return np.bitwise_xor.reduceat(packed[indices], offsets[:-1], axis=0)
 
 
 def _packed_elimination(

@@ -1,0 +1,261 @@
+"""Packed-engine equivalence tests: compiled circuits, bitplane frames,
+linearity-composed DEMs, and the eval-layer decoder cache.
+
+The packed engine must be *exactly* interchangeable with the unpacked
+reference: identical DEMs mechanism-for-mechanism, bit-identical samples
+under a shared pre-drawn noise mask, and correct round-trips for ragged
+shot counts (shots % 64 != 0).
+"""
+
+import numpy as np
+import pytest
+
+from repro.deform import data_q_rm, syndrome_q_rm
+from repro.eval import montecarlo as mc
+from repro.sim import Circuit, FrameSampler, NoiseModel, build_dem, memory_circuit
+from repro.surface import rotated_surface_code
+
+
+def toy_circuit(p=3e-3):
+    """Every instruction kind, including multi-target noise channels."""
+    c = Circuit()
+    c.reset(0, 1, 2, 3)
+    c.x_error(p, 0, 1, 2, 3)
+    c.h(0)
+    c.depolarize1(2 * p, 0, 1, 2)
+    c.cx(0, 1, 2, 3)
+    c.depolarize2(p, 0, 1, 2, 3)
+    c.h(0)
+    c.z_error(p, 0, 2)
+    c.reset_x(3)
+    c.z_error(p, 3)
+    recs = c.measure(0, 1, 2)
+    recs += c.measure_x(3)
+    c.detector([recs[0]])
+    c.detector([recs[1], recs[2]])
+    c.detector([recs[3]])
+    c.detector([])  # empty detector exercises the dummy-record wiring
+    c.observable([recs[1]])
+    return c
+
+
+def deformed_patch():
+    """d=5 patch with a removed syndrome qubit (direct gauge
+    measurements via weight-1 gauge operators) and a removed data qubit."""
+    patch = rotated_surface_code(5)
+    syndrome_q_rm(patch, (4, 6))
+    data_q_rm(patch, (7, 7))
+    return patch
+
+
+def assert_same_dem(circuit):
+    legacy = build_dem(circuit, method="legacy")
+    packed = build_dem(circuit)
+    assert packed.num_detectors == legacy.num_detectors
+    assert packed.num_observables == legacy.num_observables
+    assert packed.dropped_hyperedges == legacy.dropped_hyperedges
+    assert len(packed.mechanisms) == len(legacy.mechanisms)
+    for got, want in zip(packed.mechanisms, legacy.mechanisms):
+        assert got.detectors == want.detectors
+        assert got.observable_flip == want.observable_flip
+        assert got.probability == pytest.approx(want.probability, abs=1e-12)
+
+
+class TestDEMAgreement:
+    """Packed basis-injection DEMs == legacy propagate-every-mechanism."""
+
+    def test_toy_circuit(self):
+        assert_same_dem(toy_circuit())
+
+    @pytest.mark.parametrize("basis", ["Z", "X"])
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_memory_circuits(self, distance, basis):
+        patch = rotated_surface_code(distance)
+        circuit = memory_circuit(patch.code, basis, 3, NoiseModel.uniform(1e-3))
+        assert_same_dem(circuit)
+
+    @pytest.mark.parametrize("basis", ["Z", "X"])
+    def test_deformed_code_with_direct_gauge_measurements(self, basis):
+        patch = deformed_patch()
+        assert any(ch.ancilla is None for ch in patch.code.checks.values()), (
+            "deformation should leave directly-measured weight-1 gauges"
+        )
+        circuit = memory_circuit(patch.code, basis, 3, NoiseModel.uniform(1e-3))
+        assert_same_dem(circuit)
+
+    def test_defective_qubits(self):
+        patch = rotated_surface_code(3)
+        ancilla = next(
+            ch.ancilla for ch in patch.code.checks.values() if ch.ancilla
+        )
+        circuit = memory_circuit(
+            patch.code,
+            "Z",
+            3,
+            NoiseModel.uniform(1e-3),
+            defective_data={(2, 2)},
+            defective_ancillas={ancilla},
+        )
+        assert_same_dem(circuit)
+
+    def test_merge_false_sums_probabilities(self):
+        c = toy_circuit()
+        legacy = build_dem(c, merge=False, method="legacy")
+        packed = build_dem(c, merge=False)
+        for got, want in zip(packed.mechanisms, legacy.mechanisms):
+            assert got.detectors == want.detectors
+            assert got.probability == pytest.approx(want.probability, abs=1e-12)
+
+    def test_noiseless_circuit(self):
+        patch = rotated_surface_code(3)
+        c = memory_circuit(patch.code, "Z", 2, NoiseModel.uniform(0.0))
+        assert build_dem(c).mechanisms == []
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            build_dem(toy_circuit(), method="quantum")
+
+
+class TestSamplerAgreement:
+    """Packed and unpacked engines agree exactly under a shared mask."""
+
+    @pytest.mark.parametrize("shots", [1, 63, 64, 65, 128, 1000])
+    def test_toy_circuit_shared_mask(self, shots):
+        c = toy_circuit(p=0.05)
+        packed = FrameSampler(c, seed=5)
+        unpacked = FrameSampler(c, packed=False)
+        masks = packed.draw_masks(shots)
+        det_p, obs_p = packed.sample_masked(masks, shots)
+        det_u, obs_u = unpacked.sample_masked(masks, shots)
+        assert det_p.shape == det_u.shape == (shots, c.num_detectors)
+        assert obs_p.shape == obs_u.shape == (shots, c.num_observables)
+        assert (det_p == det_u).all()
+        assert (obs_p == obs_u).all()
+
+    @pytest.mark.parametrize("basis", ["Z", "X"])
+    def test_memory_circuit_shared_mask(self, basis):
+        patch = rotated_surface_code(3)
+        c = memory_circuit(patch.code, basis, 3, NoiseModel.uniform(3e-3))
+        packed = FrameSampler(c, seed=7)
+        masks = packed.draw_masks(130)
+        det_p, obs_p = packed.sample_masked(masks, 130)
+        det_u, obs_u = FrameSampler(c, packed=False).sample_masked(masks, 130)
+        assert (det_p == det_u).all()
+        assert (obs_p == obs_u).all()
+
+    def test_deformed_defective_shared_mask(self):
+        """Defect noise (p≈0.5) exercises the dense packed-noise path."""
+        patch = deformed_patch()
+        ancilla = next(
+            ch.ancilla for ch in patch.code.checks.values() if ch.ancilla
+        )
+        c = memory_circuit(
+            patch.code,
+            "Z",
+            3,
+            NoiseModel.uniform(1e-3),
+            defective_data={(3, 3)},
+            defective_ancillas={ancilla},
+        )
+        packed = FrameSampler(c, seed=11)
+        masks = packed.draw_masks(90)
+        det_p, obs_p = packed.sample_masked(masks, 90)
+        det_u, obs_u = FrameSampler(c, packed=False).sample_masked(masks, 90)
+        assert (det_p == det_u).all()
+        assert (obs_p == obs_u).all()
+
+    def test_deterministic_circuit_packed(self):
+        """p=1.0 channels (dense path) propagate exactly."""
+        c = Circuit()
+        c.reset(0, 1)
+        c.append("X_ERROR", (0,), 1.0)
+        c.cx(0, 1)
+        recs = c.measure(0, 1)
+        c.detector([recs[0]])
+        c.detector([recs[1]])
+        det, _ = FrameSampler(c, seed=0).sample(100)
+        assert det.all()
+
+    def test_ragged_shots_statistics(self):
+        """shots % 64 != 0 must not leak tail bits or drop shots."""
+        c = Circuit()
+        c.reset(0)
+        c.x_error(0.5, 0)
+        (rec,) = c.measure(0)
+        c.detector([rec])
+        det, _ = FrameSampler(c, seed=3).sample(9999)
+        assert det.shape == (9999, 1)
+        assert abs(det.mean() - 0.5) < 0.03
+
+    def test_sparse_noise_statistics(self):
+        """The Binomial+scatter path reproduces Bernoulli(p) exactly."""
+        c = Circuit()
+        c.reset(0)
+        c.x_error(0.01, 0)
+        (rec,) = c.measure(0)
+        c.detector([rec])
+        det, _ = FrameSampler(c, seed=13).sample(200_000)
+        se = (0.01 * 0.99 / 200_000) ** 0.5
+        assert abs(det.mean() - 0.01) < 5 * se
+
+    def test_unpacked_reference_still_default_free(self):
+        """packed=False selects the (shots, qubits) reference loop."""
+        c = toy_circuit()
+        det, obs = FrameSampler(c, seed=1, packed=False).sample(10)
+        assert det.shape == (10, c.num_detectors)
+        assert obs.shape == (10, c.num_observables)
+
+
+class TestCompiledCircuit:
+    def test_compile_is_cached(self):
+        c = toy_circuit()
+        assert c.compiled() is c.compiled()
+
+    def test_compile_cache_invalidated_by_append(self):
+        c = toy_circuit()
+        first = c.compiled()
+        c.h(0)
+        second = c.compiled()
+        assert first is not second
+        assert len(second.ops) == len(first.ops) + 1
+
+    def test_fusion_preserves_measurement_wiring(self):
+        """Fused consecutive measurements keep contiguous record slices."""
+        c = Circuit()
+        c.reset(0, 1, 2)
+        c.measure(0)
+        c.measure(1)
+        c.measure(2)
+        program = c.compiled()
+        meas = [op for op in program.ops if op.kind in ("M", "M1")]
+        assert len(meas) == 1
+        assert meas[0].m_start == 0
+        assert meas[0].targets.tolist() == [0, 1, 2]
+
+
+class TestDecoderCacheKeying:
+    def test_content_identical_codes_hit_cache(self):
+        """Fresh but content-identical SubsystemCodes must share a decoder."""
+        mc.clear_decoder_cache()
+        noise = NoiseModel.uniform(1e-3)
+        code_a = rotated_surface_code(3).code
+        code_b = rotated_surface_code(3).code
+        assert code_a is not code_b
+        dec_a = mc._cached_decoder(code_a, "Z", 3, noise, None, None, "blossom")
+        dec_b = mc._cached_decoder(code_b, "Z", 3, noise, None, None, "blossom")
+        assert dec_a is dec_b
+        assert len(mc._DECODER_CACHE) == 1
+        mc.clear_decoder_cache()
+
+    def test_different_content_misses_cache(self):
+        mc.clear_decoder_cache()
+        noise = NoiseModel.uniform(1e-3)
+        dec3 = mc._cached_decoder(
+            rotated_surface_code(3).code, "Z", 3, noise, None, None, "blossom"
+        )
+        dec5 = mc._cached_decoder(
+            rotated_surface_code(5).code, "Z", 3, noise, None, None, "blossom"
+        )
+        assert dec3 is not dec5
+        assert len(mc._DECODER_CACHE) == 2
+        mc.clear_decoder_cache()
