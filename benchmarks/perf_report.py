@@ -13,17 +13,36 @@ standard p = 1e-3 circuit noise:
 * ``decode``    — throughput per decoder method (shots/sec, best of
                   ``DECODE_REPS`` cold-cache runs to damp heavy-tail /
                   thermal noise), including ``blossom_legacy``: the
-                  seed's per-shot-Dijkstra + networkx path
-                  (``use_matrices=False``, no syndrome cache), which is
-                  the baseline the ≥10× acceptance criterion is
-                  measured against at d = 7.
+                  seed's per-shot-Dijkstra path (``use_matrices=False``,
+                  no syndrome cache, matching by the same native
+                  engine), which is the baseline the ≥10× acceptance
+                  criterion is measured against at d = 7.
 
 Run with ``PYTHONPATH=src python benchmarks/perf_report.py``; optional
 ``--distances 3,5,7,9`` and ``--benchmarks build,sample,decode`` filter
-the (expensive) grid for quick reruns, and ``--out BENCH_decode.json``
-redirects the output.  Each record is ``{"benchmark", "distance",
-"method", "shots_per_sec"}`` plus the shot/round bookkeeping, so
-successive PRs can diff throughput.
+the (expensive) grid for quick reruns, ``--workers N`` adds a sharded
+``blossom`` decode record (the ``decode_batch(workers=N)`` process
+pool), and ``--out BENCH_decode.json`` redirects the output.
+``--smoke`` is the CI tripwire: d = 3 decode only with a small shot
+plan, written to ``BENCH_decode.smoke.json`` so the committed report
+is untouched, exiting nonzero if matrix blossom falls below
+``SMOKE_MIN_SPEEDUP``× the legacy path.
+
+``BENCH_decode.json`` record schema — every record carries::
+
+    {"benchmark":      "build" | "dem_build" | "sample" | "decode",
+     "distance":       3 | 5 | 7 | 9,
+     "method":         benchmark-specific label (decode: "blossom",
+                       "uf", "greedy", "blossom_legacy"),
+     "shots_per_sec":  the throughput figure (builds/sec for build
+                       benchmarks)}
+
+plus benchmark-specific bookkeeping: ``rounds`` (all), ``seconds``
+(build/dem_build), ``mechanism_count`` (dem_build), ``shots`` (sample/
+decode), and for decode records ``reps`` (cold-cache repetitions) and
+``workers`` — the process-pool width used by ``decode_batch``; ``1``
+means the serial path, larger values are the sharded path and appear
+only when ``--workers`` is given.
 """
 
 from __future__ import annotations
@@ -51,13 +70,25 @@ DECODE_REPS = 3
 #: path is orders of magnitude slower, so it gets a smaller sample.
 SHOT_PLAN = {3: (8000, 2000), 5: (4000, 600), 7: (3000, 300), 9: (2000, 120)}
 
+#: ``--smoke`` shot plan and regression floor: matrix blossom must stay
+#: at least this many times faster than the legacy path at d = 3, else
+#: the run exits nonzero (the CI perf tripwire).
+SMOKE_SHOT_PLAN = {3: (2000, 500)}
+SMOKE_MIN_SPEEDUP = 2.0
+
 
 def _rate(count: int, seconds: float) -> float:
     return count / seconds if seconds > 0 else float("inf")
 
 
-def profile_distance(distance: int, benchmarks: set[str]) -> list[dict]:
-    shots, legacy_shots = SHOT_PLAN.get(distance, (1000, 100))
+def profile_distance(
+    distance: int,
+    benchmarks: set[str],
+    *,
+    workers: int | None = None,
+    shot_plan: dict | None = None,
+) -> list[dict]:
+    shots, legacy_shots = (shot_plan or SHOT_PLAN).get(distance, (1000, 100))
     records: list[dict] = []
 
     t0 = time.perf_counter()
@@ -126,6 +157,10 @@ def profile_distance(distance: int, benchmarks: set[str]) -> list[dict]:
         ("greedy", {"method": "greedy"}, shots),
         ("blossom_legacy", {"use_matrices": False, "cache_size": 0}, legacy_shots),
     ]
+    if workers is not None and workers > 1:
+        # The sharded path: same decoder, unique syndromes partitioned
+        # across a forked process pool.
+        methods.insert(1, ("blossom", {"workers": workers}, shots))
     for name, kwargs, n in methods:
         # Best of DECODE_REPS cold-cache runs: decode cost is heavy-tailed
         # (rare dense syndromes hit the slow blossom path) and thermal
@@ -149,12 +184,20 @@ def profile_distance(distance: int, benchmarks: set[str]) -> list[dict]:
                 "shots": n,
                 "rounds": ROUNDS,
                 "reps": DECODE_REPS,
+                "workers": kwargs.get("workers", 1),
             }
         )
     return records
 
 
-def main(argv: list[str] | None = None) -> None:
+def _decode_label(record: dict) -> str:
+    """Display/lookup label for a decode record (sharded runs tagged)."""
+    if record.get("workers", 1) > 1:
+        return f"{record['method']}[w{record['workers']}]"
+    return record["method"]
+
+
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--distances", default="3,5,7,9")
     parser.add_argument(
@@ -162,23 +205,52 @@ def main(argv: list[str] | None = None) -> None:
         default=",".join(BENCHMARKS),
         help="comma-separated subset of build,sample,decode",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="also time the sharded blossom path with this pool width",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast d=3 decode tripwire for CI: small shot plan, separate "
+        "output file, nonzero exit below the speedup floor",
+    )
     parser.add_argument("--out", default=None)
     args = parser.parse_args(argv)
-    distances = [int(d) for d in args.distances.split(",") if d]
-    benchmarks = {b.strip() for b in args.benchmarks.split(",") if b.strip()}
+    repo_root = Path(__file__).resolve().parent.parent
+    if args.smoke:
+        # Smoke is a fixed d=3 decode gate; reject flag combinations it
+        # would silently ignore rather than let a user think another
+        # grid was gated.
+        if args.distances != "3,5,7,9":
+            parser.error("--smoke always profiles d=3; drop --distances")
+        requested = {b.strip() for b in args.benchmarks.split(",") if b.strip()}
+        if "decode" not in requested:
+            parser.error("--smoke gates the decode benchmark; drop --benchmarks")
+        distances = [3]
+        benchmarks = {"decode"}
+        shot_plan = SMOKE_SHOT_PLAN
+        default_out = repo_root / "BENCH_decode.smoke.json"
+    else:
+        distances = [int(d) for d in args.distances.split(",") if d]
+        benchmarks = {
+            b.strip() for b in args.benchmarks.split(",") if b.strip()
+        }
+        shot_plan = None
+        default_out = repo_root / "BENCH_decode.json"
     unknown = benchmarks - set(BENCHMARKS)
     if unknown:
         parser.error(f"unknown benchmarks: {sorted(unknown)}")
-    out_path = Path(
-        args.out
-        if args.out is not None
-        else Path(__file__).resolve().parent.parent / "BENCH_decode.json"
-    )
+    out_path = Path(args.out if args.out is not None else default_out)
 
     all_records: list[dict] = []
     for d in distances:
         print(f"profiling d={d} ({ROUNDS} rounds, p={NOISE_P}) ...", flush=True)
-        records = profile_distance(d, benchmarks)
+        records = profile_distance(
+            d, benchmarks, workers=args.workers, shot_plan=shot_plan
+        )
         all_records.extend(records)
         for r in records:
             if r["benchmark"] in ("build", "dem_build"):
@@ -186,7 +258,7 @@ def main(argv: list[str] | None = None) -> None:
             elif r["benchmark"] == "sample":
                 print(f"  sample    {r['shots_per_sec']:>10.1f} shots/s")
         by_method = {
-            r["method"]: r["shots_per_sec"]
+            _decode_label(r): r["shots_per_sec"]
             for r in records
             if r["benchmark"] == "decode"
         }
@@ -197,19 +269,35 @@ def main(argv: list[str] | None = None) -> None:
     out_path.write_text(json.dumps(all_records, indent=2) + "\n")
     print(f"wrote {out_path} ({len(all_records)} records)")
 
+    status = 0
+    if args.smoke:
+        rates = {
+            _decode_label(r): r["shots_per_sec"]
+            for r in all_records
+            if r["benchmark"] == "decode" and r["distance"] == 3
+        }
+        speedup = rates["blossom"] / rates["blossom_legacy"]
+        ok = speedup >= SMOKE_MIN_SPEEDUP
+        print(
+            f"smoke: d=3 blossom {speedup:.1f}x legacy "
+            f"({'PASS' if ok else 'FAIL'}, floor {SMOKE_MIN_SPEEDUP}x)"
+        )
+        if not ok:
+            status = 1
     d7 = [
         r
         for r in all_records
         if r["benchmark"] == "decode" and r["distance"] == 7
     ]
     if d7:
-        rates = {r["method"]: r["shots_per_sec"] for r in d7}
+        rates = {_decode_label(r): r["shots_per_sec"] for r in d7}
         speedup = rates["blossom"] / rates["blossom_legacy"]
         print(
             f"d=7 blossom speedup over seed implementation: {speedup:.1f}x "
             f"({'PASS' if speedup >= 10 else 'BELOW'} the >=10x target)"
         )
+    return status
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -3,10 +3,21 @@
 Exact blossom matching, nearest-neighbour greedy, and an almost-linear
 union-find decoder behind one batched, syndrome-cached front-end, all
 reading pairwise path data from precomputed all-pairs matrices.
+Matching runs on the package's own primal–dual blossom engine
+(:mod:`repro.decode.blossom`); no external graph library is imported
+anywhere under ``repro.decode``.  Dense-syndrome batches can shard
+their unique syndromes across a forked worker pool
+(``MatchingDecoder(..., workers=N)``).
 """
 
-from repro.decode.mwpm import MatchingDecoder
+from repro.decode.blossom import min_weight_perfect_matching
 from repro.decode.graph import DecodingGraph
+from repro.decode.mwpm import MatchingDecoder
 from repro.decode.uf import UnionFindDecoder
 
-__all__ = ["MatchingDecoder", "DecodingGraph", "UnionFindDecoder"]
+__all__ = [
+    "MatchingDecoder",
+    "DecodingGraph",
+    "UnionFindDecoder",
+    "min_weight_perfect_matching",
+]

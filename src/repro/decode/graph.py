@@ -22,9 +22,13 @@ The graph is stored twice:
   a Dijkstra per shot.  Matrices are built lazily on first use and only
   below ``matrix_node_limit`` nodes; larger graphs fall back to the
   legacy per-source Dijkstra.
-* as a ``networkx.Graph`` for the legacy per-source path queries
-  (:meth:`shortest`, :meth:`path_observable_parity`) that the
-  agreement tests and the pre-matrix decode path still use.
+* as a plain dict-of-dicts adjacency (:class:`Adjacency`) for the
+  legacy per-source path queries (:meth:`shortest`, a heap-based
+  Dijkstra, and :meth:`path_observable_parity`) that the agreement
+  tests and the pre-matrix decode path still use.  The decode package
+  depends on no graph library: matching runs on the native blossom
+  engine (:mod:`repro.decode.blossom`) and path queries on this
+  module's own Dijkstra.
 
 The parity matrix is derived from the Dijkstra predecessor matrix by
 pointer doubling: start with each node's one-hop parity to its
@@ -34,9 +38,9 @@ parities, so the full matrix costs O(n² log n) vectorised byte ops.
 
 from __future__ import annotations
 
+import heapq
 import math
 
-import networkx as nx
 import numpy as np
 
 from repro.sim.dem import DetectorErrorModel
@@ -47,7 +51,27 @@ BOUNDARY = "boundary"
 #: are skipped and per-source Dijkstra is used on demand instead.
 MATRIX_NODE_LIMIT = 4096
 
-__all__ = ["DecodingGraph", "BOUNDARY", "MATRIX_NODE_LIMIT"]
+__all__ = ["DecodingGraph", "Adjacency", "BOUNDARY", "MATRIX_NODE_LIMIT"]
+
+
+class Adjacency(dict):
+    """Dict-of-dicts undirected adjacency: ``adj[u][v]`` is the edge
+    attribute dict (``weight``, ``probability``, ``observable``).
+
+    Covers the small slice of the ``networkx.Graph`` API the decode
+    package historically exposed (node membership, item access,
+    :meth:`number_of_edges`) without the library dependency.
+    """
+
+    def add_node(self, u) -> None:
+        self.setdefault(u, {})
+
+    def add_edge(self, u, v, **attrs) -> None:
+        self.setdefault(u, {})[v] = attrs
+        self.setdefault(v, {})[u] = attrs
+
+    def number_of_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self.values()) // 2
 
 
 class DecodingGraph:
@@ -65,8 +89,9 @@ class DecodingGraph:
         self.boundary_index = dem.num_detectors
         self.matrix_node_limit = matrix_node_limit
 
-        graph = nx.Graph()
-        graph.add_nodes_from(range(dem.num_detectors))
+        graph = Adjacency()
+        for node in range(dem.num_detectors):
+            graph.add_node(node)
         graph.add_node(BOUNDARY)
         # key -> [combined probability, best single-channel p, its parity]
         combined: dict[tuple, list] = {}
@@ -177,9 +202,38 @@ class DecodingGraph:
 
     # -- legacy per-source queries -------------------------------------
     def shortest(self, source) -> tuple[dict, dict]:
-        """Dijkstra distances and paths from ``source`` (cached)."""
+        """Dijkstra distances and paths from ``source`` (cached).
+
+        Returns ``(dist, path)`` dicts over reachable nodes, ``path``
+        holding full node lists from ``source`` — the same contract as
+        ``networkx.single_source_dijkstra``, implemented on the plain
+        adjacency with a binary heap.
+        """
         if source not in self._path_cache:
-            dist, path = nx.single_source_dijkstra(self.graph, source, weight="weight")
+            dist: dict = {source: 0.0}
+            prev: dict = {}
+            seen: set = set()
+            counter = 0  # heap tie-breaker; nodes mix ints and strings
+            heap: list = [(0.0, counter, source)]
+            while heap:
+                d, _, node = heapq.heappop(heap)
+                if node in seen:
+                    continue
+                seen.add(node)
+                for nbr, attrs in self.graph[node].items():
+                    cand = d + attrs["weight"]
+                    if cand < dist.get(nbr, math.inf):
+                        dist[nbr] = cand
+                        prev[nbr] = node
+                        counter += 1
+                        heapq.heappush(heap, (cand, counter, nbr))
+            path: dict = {}
+            for node in dist:
+                walk = [node]
+                while walk[-1] != source:
+                    walk.append(prev[walk[-1]])
+                walk.reverse()
+                path[node] = walk
             self._path_cache[source] = (dist, path)
         return self._path_cache[source]
 

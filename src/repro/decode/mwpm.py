@@ -3,8 +3,11 @@
 Three methods share one front-end:
 
 * ``"blossom"`` — exact minimum-weight perfect matching on the defect
-  graph (networkx blossom on negated weights with ``maxcardinality``);
-  each defect matches another defect or its own virtual boundary copy.
+  graph; small components are solved by subset DP, larger ones by the
+  native primal–dual blossom engine
+  (:mod:`repro.decode.blossom`) — no external graph library is
+  involved anywhere in the decode path.  Each defect matches another
+  defect or routes to the virtual boundary.
 * ``"greedy"`` — nearest-neighbour greedy matching; fast, slightly
   suboptimal, kept for sanity checks and as the cheapest baseline.
 * ``"uf"`` — the almost-linear union-find decoder
@@ -25,27 +28,55 @@ The hot path is precomputation-heavy rather than per-shot:
 * :meth:`decode_batch` handles the zero-syndrome fast path with a
   single ``detectors.any(axis=1)`` pass and decodes only the *unique*
   nonzero syndromes of the batch, scattering results back.
+* dense-syndrome sweeps can shard those unique syndromes across a
+  forked process pool (``workers=N`` on the constructor or on
+  :meth:`decode_batch`); each worker decodes a slice against the
+  shared copy-on-write path matrices and the parent merges the
+  results back into its syndrome cache.
 
-The matrix-backed blossom optimises the identical objective as the
-legacy path, so its predictions match whenever the optimum is unique;
-degenerate ties (equal-weight shortest paths, or equal-cost matchings
-as on uniform-weight graphs with no boundary) are resolved by whichever
-optimum the backend reaches first, which may differ from networkx's
-pick while being equally minimal.
+Every backend (subset DP, native blossom, legacy per-shot Dijkstra)
+optimises the identical objective, so total matching weights agree
+exactly and predictions match whenever the optimum is unique.
+Degenerate ties (equal-weight shortest paths, or equal-cost matchings
+as on uniform-weight graphs with no boundary) resolve
+deterministically: the DPs prefer the pair route and then the lowest
+partner index, and the blossom engine scans defects in ascending index
+order, so repeated runs — and both formulations fed to the engine —
+always return the same matching.  :meth:`MatchingDecoder.
+matching_weight` exposes the optimal total route weight so agreement
+tests can compare backends on the objective value itself rather than
+only on tie-free predictions.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 import numpy as np
-import networkx as nx
 
+from repro.decode.blossom import min_weight_perfect_matching
 from repro.decode.graph import BOUNDARY, DecodingGraph
 from repro.decode.uf import UnionFindDecoder
 from repro.sim.dem import DetectorErrorModel
 
 __all__ = ["MatchingDecoder"]
+
+#: Minimum number of unique syndromes per worker before decode_batch
+#: bothers forking: below this the pool start-up cost dominates.
+_MIN_SYNDROMES_PER_WORKER = 32
+
+#: Decoder a forked pool worker decodes against (inherited copy-on-write
+#: from the parent at fork time; never set in the parent's own workers).
+#: Guarded by ``_POOL_LOCK`` for the set→fork window so concurrent
+#: ``decode_batch`` calls from different threads cannot fork against
+#: the wrong decoder.
+_POOL_DECODER: "MatchingDecoder | None" = None
+_POOL_LOCK = threading.Lock()
+
+
+def _pool_decode(defects: tuple[int, ...]) -> int:
+    return _POOL_DECODER._decode_defects(defects)
 
 #: Default maximum number of cached syndromes per decoder.
 DEFAULT_CACHE_SIZE = 65536
@@ -130,14 +161,18 @@ class MatchingDecoder:
         method: str = "blossom",
         cache_size: int = DEFAULT_CACHE_SIZE,
         use_matrices: bool | None = None,
+        workers: int | None = None,
     ) -> None:
         if method not in self.METHODS:
             raise ValueError(f"method must be one of {self.METHODS}")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be a positive integer")
         self.graph = DecodingGraph(dem)
         self.method = method
         if use_matrices is None:
             use_matrices = self.graph.use_matrices
         self.use_matrices = use_matrices
+        self.workers = workers
         self.cache_size = cache_size
         self._cache: OrderedDict[tuple[int, ...], int] | None = (
             OrderedDict() if cache_size > 0 else None
@@ -154,8 +189,19 @@ class MatchingDecoder:
         defects = tuple(int(d) for d in nonzero if d < self.graph.num_detectors)
         return self._decode_defects(defects)
 
-    def decode_batch(self, detector_samples: np.ndarray) -> np.ndarray:
-        """Vector of predictions for a ``(shots, detectors)`` sample array."""
+    def decode_batch(
+        self,
+        detector_samples: np.ndarray,
+        *,
+        workers: int | None = None,
+    ) -> np.ndarray:
+        """Vector of predictions for a ``(shots, detectors)`` sample array.
+
+        ``workers=N`` (or the constructor default) shards the unique
+        nonzero syndromes of the batch across ``N`` forked processes;
+        see :meth:`_decode_unique_parallel`.  Serial and sharded
+        decoding produce identical predictions.
+        """
         samples = np.asarray(detector_samples, dtype=np.uint8)
         if samples.ndim == 1:
             samples = samples.reshape(1, -1)
@@ -167,21 +213,123 @@ class MatchingDecoder:
             samples[nonzero_rows], axis=0, return_inverse=True
         )
         inverse = inverse.reshape(-1)
-        unique_predictions = np.empty(len(unique), dtype=np.uint8)
         limit = self.graph.num_detectors
-        for i, row in enumerate(unique):
-            defects = tuple(
-                int(d) for d in np.nonzero(row)[0] if d < limit
+        defect_sets = [
+            tuple(int(d) for d in np.nonzero(row)[0] if d < limit)
+            for row in unique
+        ]
+        if workers is None:
+            workers = self.workers
+        if workers is not None and workers > 1 and self._can_shard(
+            len(defect_sets), workers
+        ):
+            unique_predictions = self._decode_unique_parallel(
+                defect_sets, workers
             )
-            unique_predictions[i] = self._decode_defects(defects)
+        else:
+            unique_predictions = np.fromiter(
+                (self._decode_defects(d) for d in defect_sets),
+                dtype=np.uint8,
+                count=len(defect_sets),
+            )
         predictions[nonzero_rows] = unique_predictions[inverse]
         return predictions
+
+    def _can_shard(self, num_unique: int, workers: int) -> bool:
+        """Whether forking a pool is worthwhile (and safe) here."""
+        import multiprocessing as mp
+        import sys
+
+        if num_unique < workers * _MIN_SYNDROMES_PER_WORKER:
+            return False
+        # macOS advertises fork but aborts forked children that touch
+        # Apple-framework state; only Linux fork is trusted here.
+        return sys.platform.startswith("linux") and (
+            "fork" in mp.get_all_start_methods()
+        )
+
+    def _decode_unique_parallel(
+        self, defect_sets: list[tuple[int, ...]], workers: int
+    ) -> np.ndarray:
+        """Shard unique-syndrome decoding across a forked process pool.
+
+        The decoder (path matrices included) is inherited by each
+        worker copy-on-write at fork time, so nothing large is pickled;
+        only the defect tuples and the uint8 results cross the pipe.
+        Cache hits are resolved in the parent first, and the parent's
+        syndrome LRU absorbs the workers' results afterwards, so a
+        sharded batch warms the cache exactly like a serial one.
+
+        Caveat: on ``use_matrices=False`` decoders (graphs above
+        ``MATRIX_NODE_LIMIT``) there are no matrices to pre-share, so
+        each worker rebuilds per-source Dijkstra caches for its own
+        chunk and discards them with the pool — results stay correct
+        but duplicated path work erodes the speed-up there.
+        """
+        import multiprocessing as mp
+
+        if self.use_matrices:
+            self.graph.ensure_matrices()  # build once, before forking
+        cache = self._cache
+        out = np.zeros(len(defect_sets), dtype=np.uint8)
+        misses: list[int] = []
+        if cache is not None:
+            for i, defects in enumerate(defect_sets):
+                cached = cache.get(defects)
+                if cached is not None:
+                    cache.move_to_end(defects)
+                    self.cache_hits += 1
+                    out[i] = cached
+                else:
+                    misses.append(i)
+        else:
+            misses = list(range(len(defect_sets)))
+        if len(misses) < workers * _MIN_SYNDROMES_PER_WORKER:
+            # A warm cache can shrink a shard-worthy batch to a handful
+            # of misses; forking a pool for those loses to the serial
+            # loop, so the floor is re-checked on the actual work.
+            for i in misses:
+                out[i] = self._decode_defects(defect_sets[i])
+            return out
+        global _POOL_DECODER
+        ctx = mp.get_context("fork")
+        chunk = max(1, len(misses) // (workers * 8))
+        # The lock spans the pool's whole lifetime: initial workers fork
+        # with this decoder, and so does any replacement the pool
+        # respawns after an abnormal worker death.  Concurrent sharded
+        # batches from other threads serialise here — overlapping
+        # process pools would only fight for the same cores.
+        with _POOL_LOCK:
+            _POOL_DECODER = self
+            try:
+                with ctx.Pool(workers) as pool:
+                    results = pool.map(
+                        _pool_decode,
+                        [defect_sets[i] for i in misses],
+                        chunksize=chunk,
+                    )
+            finally:
+                _POOL_DECODER = None
+        for i, result in zip(misses, results):
+            out[i] = result
+            if cache is not None:
+                self.cache_misses += 1
+                cache[defect_sets[i]] = int(result)
+                if len(cache) > self.cache_size:
+                    cache.popitem(last=False)
+        return out
 
     def logical_error_rate(
         self, detector_samples: np.ndarray, observable_samples: np.ndarray
     ) -> float:
-        """Fraction of shots where the prediction misses the actual flip."""
+        """Fraction of shots where the prediction misses the actual flip.
+
+        An empty batch has no misses: zero shots return 0.0 instead of
+        propagating a ``mean of empty slice`` NaN.
+        """
         predictions = self.decode_batch(detector_samples)
+        if len(predictions) == 0:
+            return 0.0
         actual = np.asarray(observable_samples).reshape(len(predictions), -1)
         actual = (actual.sum(axis=1) % 2).astype(np.uint8)
         return float((predictions != actual).mean())
@@ -249,9 +397,10 @@ class MatchingDecoder:
           collapsing the matching cost per shot.
 
         Components up to :data:`DP_DEFECT_LIMIT` defects use the exact
-        subset-DP matcher; larger ones fall back to networkx blossom.
-        Equal-weight ties between the pair route and the two-boundary
-        route resolve to the pair route.
+        subset-DP matcher; larger ones go to the native blossom engine
+        (:mod:`repro.decode.blossom`).  Equal-weight ties between the
+        pair route and the two-boundary route resolve to the pair
+        route.
         """
         D, P, b_dist, b_par = self._lookup(defects)
         k = len(defects)
@@ -319,44 +468,55 @@ class MatchingDecoder:
         elif n <= DP_DEFECT_LIMIT:
             matcher = self._dp_match_vec
         else:
-            matcher = self._nx_match
+            matcher = self._blossom_match
         return matcher(
             n, W[sub], use_pair[sub], P[sub], b_dist[idx], b_par[idx]
         )
 
     @staticmethod
-    def _nx_match(k, W, use_pair, P, b_dist, b_par) -> int:
-        """Blossom matching on a reduced component (large defect sets)."""
-        finite = np.isfinite(W)
-        np.fill_diagonal(finite, False)
-        big = 1.0 + 2.0 * float(W[finite].max()) if finite.any() else 1.0
-        match_graph = nx.Graph()
-        iu, ju = np.triu_indices(k, 1)
-        for i, j in zip(iu, ju):
-            if finite[i, j]:
-                match_graph.add_edge(int(i), int(j), weight=big - W[i, j])
-        if k % 2:
-            for i in range(k):
-                if np.isfinite(b_dist[i]):
-                    match_graph.add_edge(int(i), -1, weight=big - b_dist[i])
-        matching = nx.max_weight_matching(match_graph, maxcardinality=True)
+    def _reduced_cost(k, W, b_dist):
+        """Dense engine cost matrix of one reduced component.
+
+        The ``k`` defects with pair costs ``W``, plus — when ``k`` is
+        odd — one virtual boundary node at column ``k`` that can absorb
+        the odd defect at its boundary distance.  Shared by decoding
+        (:meth:`_blossom_match`) and the objective-value query
+        (:meth:`matching_weight`) so the two formulations cannot drift.
+        """
+        n = k + (k % 2)
+        cost = np.full((n, n), np.inf)
+        cost[:k, :k] = W
+        np.fill_diagonal(cost, np.inf)
+        if n > k:
+            cost[:k, k] = cost[k, :k] = b_dist
+        return n, cost
+
+    @staticmethod
+    def _blossom_match(k, W, use_pair, P, b_dist, b_par) -> int:
+        """Native blossom matching on a reduced component (large sets).
+
+        Builds the dense cost matrix of the reduced component — the
+        ``k`` defects plus, when ``k`` is odd, one virtual boundary
+        node absorbing the odd defect — and hands it to the exact
+        engine.  Defects the engine leaves unmatched (no finite edge
+        reaches them) route alone to the boundary when possible,
+        matching the seed's unmatched behaviour.
+        """
+        n, cost = MatchingDecoder._reduced_cost(k, W, b_dist)
+        mate, _ = min_weight_perfect_matching(cost)
         parity = 0
-        matched = set()
-        for u, v in matching:
-            if u > v:
-                u, v = v, u
-            if u == -1:  # odd defect routed to the boundary
-                parity ^= int(b_par[v])
-                matched.add(v)
-                continue
-            if use_pair[u, v]:
-                parity ^= int(P[u, v])
-            else:
-                parity ^= int(b_par[u]) ^ int(b_par[v])
-            matched.update((u, v))
-        for i in range(k):  # disconnected leftovers route alone
-            if i not in matched and np.isfinite(b_dist[i]):
+        for i in range(k):
+            j = mate[i]
+            if j == k:  # the odd defect routed to the boundary
                 parity ^= int(b_par[i])
+            elif j < 0:  # disconnected leftovers route alone
+                if np.isfinite(b_dist[i]):
+                    parity ^= int(b_par[i])
+            elif i < j:
+                if use_pair[i, j]:
+                    parity ^= int(P[i, j])
+                else:
+                    parity ^= int(b_par[i]) ^ int(b_par[j])
         return parity
 
     def _decode_greedy_matrix(self, defects: tuple[int, ...]) -> int:
@@ -495,28 +655,135 @@ class MatchingDecoder:
     def _blossom_matching(defects, dists, b_dist):
         """Max-cardinality min-weight matching on the defect graph.
 
-        Each defect node ``("d", i)`` may pair with another defect or
-        its own boundary copy ``("b", i)``; boundary copies pair off
-        freely at zero cost.
+        The seed's ``2k``-node formulation, solved by the native
+        engine: each defect node ``("d", i)`` may pair with another
+        defect or its own boundary copy ``("b", i)``; boundary copies
+        pair off freely at zero cost.  Returns the matching as a set of
+        node-tuple pairs (the shape the legacy decode loop consumes).
         """
-        match_graph = nx.Graph()
-        big = 1.0 + 2.0 * (
-            max(
-                max(dists.values(), default=0.0),
-                max(b_dist.values(), default=0.0),
-            )
-        )
+        k = len(defects)
+        index = {d: i for i, d in enumerate(defects)}
+        with_boundary = [d for d in defects if d in b_dist]
+        n = k + len(with_boundary)
+        cost = np.full((n, n), np.inf)
         for (a, b), w in dists.items():
-            match_graph.add_edge(("d", a), ("d", b), weight=big - w)
-        for d in defects:
-            w = b_dist.get(d)
-            if w is not None:
-                match_graph.add_edge(("d", d), ("b", d), weight=big - w)
-        bs = [("b", d) for d in defects if d in b_dist]
-        for i in range(len(bs)):
-            for j in range(i + 1, len(bs)):
-                match_graph.add_edge(bs[i], bs[j], weight=big)
-        return nx.max_weight_matching(match_graph, maxcardinality=True)
+            cost[index[a], index[b]] = cost[index[b], index[a]] = w
+        for bi, d in enumerate(with_boundary):
+            cost[index[d], k + bi] = cost[k + bi, index[d]] = b_dist[d]
+            for bj in range(bi + 1, len(with_boundary)):
+                cost[k + bi, k + bj] = cost[k + bj, k + bi] = 0.0
+        mate, _ = min_weight_perfect_matching(cost)
+        names = [("d", d) for d in defects] + [
+            ("b", d) for d in with_boundary
+        ]
+        return {
+            (names[u], names[v])
+            for u in range(n)
+            if (v := mate[u]) > u
+        }
+
+    # -- objective-value queries (agreement tests) ---------------------
+    def matching_weight(
+        self, detector_sample: np.ndarray, *, matcher: str = "blossom"
+    ) -> float:
+        """Optimal total route weight of one shot's matching.
+
+        All exact backends optimise the same objective — the summed
+        log-likelihood weight of every chosen route (defect–defect
+        paths and boundary routes; unmatchable defects contribute
+        nothing) — so this value is backend-independent even when the
+        optimal matching itself is degenerate.  ``matcher`` selects the
+        formulation used to compute it:
+
+        * ``"blossom"`` — the native engine on the reduced defect graph
+          (no component decomposition, so the value covers the whole
+          defect set at once),
+        * ``"dp"`` — the scalar subset DP (exponential in the defect
+          count; intended for test-sized syndromes),
+        * ``"legacy"`` — the seed's ``2k``-node boundary-copy
+          formulation on per-shot Dijkstra distances.
+
+        Agreement of the three (and of an external solver fed the same
+        matrix) is asserted by ``tests/test_decode_agreement.py``.
+        """
+        if matcher not in ("blossom", "dp", "legacy"):
+            raise ValueError("matcher must be 'blossom', 'dp' or 'legacy'")
+        sample = np.asarray(detector_sample)
+        nonzero = np.nonzero(sample)[0]
+        defects = tuple(
+            int(d) for d in nonzero if d < self.graph.num_detectors
+        )
+        if not defects:
+            return 0.0
+        if matcher == "legacy":
+            dists, _, b_dist, _ = self._pairwise(list(defects))
+            matching = self._blossom_matching(list(defects), dists, b_dist)
+            total = 0.0
+            for u, v in matching:
+                if u[0] == "d" and v[0] == "d":
+                    a, b = sorted((u[1], v[1]))
+                    total += dists[(a, b)]
+                elif u[0] != v[0]:
+                    total += b_dist[u[1] if u[0] == "d" else v[1]]
+            return total
+        D, P, b_dist, b_par = self._lookup(defects)
+        k = len(defects)
+        if k == 1:
+            return float(b_dist[0]) if np.isfinite(b_dist[0]) else 0.0
+        D = np.minimum(D, D.T)
+        W = np.minimum(D, b_dist[:, None] + b_dist[None, :])
+        if matcher == "dp":
+            return self._dp_weight(k, W, b_dist)
+        n, cost = self._reduced_cost(k, W, b_dist)
+        mate, total = min_weight_perfect_matching(cost)
+        for i in range(k):  # disconnected leftovers route alone
+            if mate[i] < 0 and np.isfinite(b_dist[i]):
+                total += float(b_dist[i])
+        return float(total)
+
+    @staticmethod
+    def _dp_weight(k, W, b_dist) -> float:
+        """Total route weight by subset DP (same recurrence as
+        :meth:`_dp_match`, tracking real cost instead of parity)."""
+        cost_rows = W.tolist()
+        bound_cost = [
+            float(b_dist[i]) if np.isfinite(b_dist[i]) else np.inf
+            for i in range(k)
+        ]
+        finite_w = np.isfinite(W)
+        dangle = 1.0 + float(W[finite_w].sum() if finite_w.any() else 0.0)
+        dangle += float(sum(c for c in bound_cost if c < np.inf))
+        size = 1 << k
+        f = [0.0] * size
+        h = [0.0] * size  # real route weight of the optimum for mask
+        for mask in range(1, size):
+            low_bit = mask & -mask
+            i = low_bit.bit_length() - 1
+            rest = mask ^ low_bit
+            row_cost = cost_rows[i]
+            best = np.inf
+            best_real = 0.0
+            m = rest
+            while m:
+                j_bit = m & -m
+                m ^= j_bit
+                other = rest ^ j_bit
+                w = row_cost[j_bit.bit_length() - 1]
+                cost = w + f[other]
+                if cost < best:
+                    best = cost
+                    best_real = w + h[other]
+            cost = bound_cost[i] + f[rest]
+            if cost < best:
+                best = cost
+                best_real = bound_cost[i] + h[rest]
+            cost = dangle + f[rest]
+            if cost < best:
+                best = cost
+                best_real = h[rest]
+            f[mask] = best
+            h[mask] = best_real
+        return h[size - 1]
 
     # -- legacy per-shot Dijkstra decoding (the seed implementation) ---
     def _pairwise(self, defects: list[int]):

@@ -151,6 +151,7 @@ def memory_experiment(
     defective_ancillas: set | None = None,
     decoder_method: str = "blossom",
     decoder_aware_of_defects: bool = False,
+    decoder_workers: int | None = None,
 ) -> MemoryResult:
     """Run one ``basis``-memory experiment and decode it.
 
@@ -159,6 +160,12 @@ def memory_experiment(
     unannounced, so the "no treatment" baseline of fig. 11(a) decodes
     with stale error rates.  ``decoder_aware_of_defects=True`` gives the
     decoder the defect-aware model instead (an erasure-like best case).
+
+    ``decoder_workers=N`` shards the batch's unique syndromes across
+    ``N`` forked processes (``MatchingDecoder.decode_batch``); dense
+    d ≥ 7 sweeps then scale with cores.  It only affects scheduling,
+    never predictions, so it is deliberately *not* part of the decoder
+    cache key — memoised decoders are reused across worker settings.
     """
     if rounds is None:
         rounds = max(3, min(code.n, 25))
@@ -189,7 +196,7 @@ def memory_experiment(
         circuit=decoder_circuit,
     )
     detectors, observables = sample_detectors(circuit, shots, seed=seed)
-    predictions = decoder.decode_batch(detectors)
+    predictions = decoder.decode_batch(detectors, workers=decoder_workers)
     actual = (observables.sum(axis=1) % 2).astype(predictions.dtype)
     errors = int((predictions != actual).sum())
     return MemoryResult(
@@ -212,6 +219,7 @@ def logical_error_rate(
     defective_ancillas: set | None = None,
     decoder_method: str = "blossom",
     decoder_aware_of_defects: bool = False,
+    decoder_workers: int | None = None,
 ) -> float:
     """Combined per-round logical error rate over both bases.
 
@@ -242,6 +250,7 @@ def logical_error_rate(
             defective_ancillas=defective_ancillas,
             decoder_method=decoder_method,
             decoder_aware_of_defects=decoder_aware_of_defects,
+            decoder_workers=decoder_workers,
         )
         total += result.per_round
     return total

@@ -54,9 +54,21 @@ def make_task_set(
     qubits_used: int | None = None,
     seed: int | None = None,
 ) -> list[tuple[int, int]]:
-    """Random CNOT workload à la fig. 11(c) (tasks on distinct qubits)."""
+    """Random CNOT workload à la fig. 11(c) (tasks on distinct qubits).
+
+    ``qubits_used`` defaults to ``num_qubits``; an explicit value must
+    be positive (and at most ``num_qubits``) — the old ``or`` default
+    silently turned ``qubits_used=0`` into "use all qubits".
+    """
     rng = np.random.default_rng(seed)
-    qubits_used = qubits_used or num_qubits
+    if qubits_used is None:
+        qubits_used = num_qubits
+    if qubits_used <= 0:
+        raise ValueError(f"qubits_used must be positive, got {qubits_used}")
+    if qubits_used > num_qubits:
+        raise ValueError(
+            f"qubits_used ({qubits_used}) exceeds num_qubits ({num_qubits})"
+        )
     pool = rng.permutation(num_qubits)[:qubits_used]
     gates = []
     for _ in range(num_tasks):

@@ -183,3 +183,34 @@ class TestYieldRate:
     def test_rejects_unknown_method(self):
         with pytest.raises(ValueError):
             yield_rate("q3de", 9, 4, 7, samples=1)
+
+
+class TestMakeTaskSet:
+    def test_defaults_to_all_qubits(self):
+        from repro.eval.throughput import make_task_set
+
+        gates = make_task_set(10, 2, 3, seed=0)
+        assert len(gates) == 6
+        assert all(0 <= a < 10 and 0 <= b < 10 and a != b for a, b in gates)
+
+    def test_explicit_pool_respected(self):
+        from repro.eval.throughput import make_task_set
+
+        gates = make_task_set(50, 5, 25, qubits_used=4, seed=1)
+        used = {q for gate in gates for q in gate}
+        assert len(used) <= 4
+
+    def test_zero_qubits_used_rejected(self):
+        """Regression: ``qubits_used=0`` used to silently mean "all"."""
+        from repro.eval.throughput import make_task_set
+
+        with pytest.raises(ValueError):
+            make_task_set(10, 2, 3, qubits_used=0)
+        with pytest.raises(ValueError):
+            make_task_set(10, 2, 3, qubits_used=-5)
+
+    def test_oversized_pool_rejected(self):
+        from repro.eval.throughput import make_task_set
+
+        with pytest.raises(ValueError):
+            make_task_set(10, 2, 3, qubits_used=11)

@@ -1,14 +1,24 @@
 """Agreement of the fast decode pipeline with the seed implementation.
 
 The matrix-backed blossom path (all-pairs lookups, component
-decomposition, subset-DP/blossom matching) must reproduce the seed's
-per-shot-Dijkstra + networkx predictions exactly; greedy likewise.  The
+decomposition, subset-DP/native-blossom matching) must reproduce the
+seed's per-shot-Dijkstra predictions exactly; greedy likewise.  The
 union-find decoder is a different algorithm — it is validated for high
 agreement and equal behaviour on unambiguous cases.
+
+Beyond tie-free predictions, every exact backend optimises the same
+objective, so :meth:`MatchingDecoder.matching_weight` must return
+identical totals for the native blossom, the subset DP and the legacy
+formulation — and match a networkx reference fed the same reduced
+graph (networkx stays available as a *test oracle*; the decode package
+itself no longer imports it).  Dense syndromes (p ≥ 3e-3 and
+untreated-defect circuits) force >14-defect components through the
+native engine and are checked the same way.
 """
 
 import itertools
 
+import networkx as nx
 import numpy as np
 import pytest
 
@@ -234,6 +244,242 @@ class TestMemoryExperimentMethods:
         )
         assert result.shots == 400
         assert result.per_shot < 0.05
+
+
+def networkx_reduced_weight(decoder, sample):
+    """Optimal route weight via networkx on the reduced defect graph.
+
+    Mirrors the decoder's reduced formulation (pair weights
+    ``min(d(a,b), b(a)+b(b))``, one virtual boundary node when the
+    defect count is odd, leftovers routed alone) but solves it with
+    ``networkx.max_weight_matching`` — the backend the native engine
+    replaced — so totals can be compared across solvers.
+    """
+    sample = np.asarray(sample)
+    limit = decoder.graph.num_detectors
+    defects = tuple(int(d) for d in np.nonzero(sample)[0] if d < limit)
+    if not defects:
+        return 0.0
+    D, _, b_dist, _ = decoder._lookup(defects)
+    k = len(defects)
+    if k == 1:
+        return float(b_dist[0]) if np.isfinite(b_dist[0]) else 0.0
+    D = np.minimum(D, D.T)
+    W = np.minimum(D, b_dist[:, None] + b_dist[None, :])
+    finite = np.isfinite(W).copy()
+    np.fill_diagonal(finite, False)
+    big = 1.0 + 2.0 * float(W[finite].max()) if finite.any() else 1.0
+    graph = nx.Graph()
+    graph.add_nodes_from(range(k))
+    iu, ju = np.nonzero(np.triu(finite, 1))
+    for i, j in zip(iu, ju):
+        graph.add_edge(int(i), int(j), weight=big - W[i, j])
+    if k % 2:
+        for i in range(k):
+            if np.isfinite(b_dist[i]):
+                graph.add_edge(int(i), -1, weight=big - b_dist[i])
+    matching = nx.max_weight_matching(graph, maxcardinality=True)
+    total = 0.0
+    matched = set()
+    for u, v in matching:
+        if u > v:
+            u, v = v, u
+        if u == -1:
+            total += float(b_dist[v])
+            matched.add(v)
+        else:
+            total += float(W[u, v])
+            matched.update((u, v))
+    for i in range(k):
+        if i not in matched and np.isfinite(b_dist[i]):
+            total += float(b_dist[i])
+    return total
+
+
+def random_syndromes(rng, num_detectors, count, max_defects):
+    """Random nonzero syndromes with bounded defect counts."""
+    for _ in range(count):
+        weight = int(rng.integers(1, min(max_defects, num_detectors) + 1))
+        sample = np.zeros(num_detectors, dtype=np.uint8)
+        sample[rng.choice(num_detectors, size=weight, replace=False)] = 1
+        yield sample
+
+
+class TestMatchingWeights:
+    """All exact backends agree on the objective value itself."""
+
+    def test_weights_identical_across_backends(self):
+        rng = np.random.default_rng(101)
+        for _ in range(8):
+            dem = random_dem(rng, max_detectors=9)
+            dec = MatchingDecoder(dem)
+            for s in all_syndromes(dem.num_detectors):
+                if not s.any():
+                    continue
+                w_blossom = dec.matching_weight(s, matcher="blossom")
+                w_dp = dec.matching_weight(s, matcher="dp")
+                w_legacy = dec.matching_weight(s, matcher="legacy")
+                assert w_blossom == pytest.approx(w_dp)
+                assert w_blossom == pytest.approx(w_legacy)
+
+    def test_weights_match_networkx_oracle(self):
+        rng = np.random.default_rng(103)
+        for _ in range(8):
+            dem = random_dem(rng, max_detectors=9)
+            dec = MatchingDecoder(dem)
+            for s in all_syndromes(dem.num_detectors):
+                if not s.any():
+                    continue
+                assert dec.matching_weight(s) == pytest.approx(
+                    networkx_reduced_weight(dec, s)
+                )
+
+    def test_unknown_matcher_rejected(self):
+        rng = np.random.default_rng(104)
+        dem = random_dem(rng)
+        dec = MatchingDecoder(dem)
+        sample = np.ones(dem.num_detectors, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            dec.matching_weight(sample, matcher="nope")
+
+
+class TestLargeComponents:
+    """Dense syndromes exercise the native engine beyond the DP limit."""
+
+    def _force_native(self, monkeypatch):
+        """Count native-engine calls and the component sizes they see."""
+        import repro.decode.mwpm as mwpm
+
+        seen = []
+        orig = MatchingDecoder.__dict__["_blossom_match"].__get__(
+            None, MatchingDecoder
+        )
+
+        def counting(k, W, use_pair, P, b_dist, b_par):
+            seen.append(k)
+            return orig(k, W, use_pair, P, b_dist, b_par)
+
+        monkeypatch.setattr(
+            mwpm.MatchingDecoder, "_blossom_match", staticmethod(counting)
+        )
+        return seen
+
+    def test_dense_random_dems_weight_and_prediction(self, monkeypatch):
+        """Randomized >14-defect syndromes: native vs DP-free legacy
+        predictions and the networkx weight oracle."""
+        seen = self._force_native(monkeypatch)
+        rng = np.random.default_rng(105)
+        for _ in range(3):
+            dem = random_dem(
+                rng, max_detectors=24, min_detectors=20, max_mechanisms=120
+            )
+            new = MatchingDecoder(dem)
+            legacy = MatchingDecoder(dem, use_matrices=False, cache_size=0)
+            for s in random_syndromes(rng, dem.num_detectors, 25, 22):
+                if s.sum() <= mwpm_module.DP_DEFECT_LIMIT:
+                    continue
+                assert new.decode(s) == legacy.decode(s)
+                assert new.matching_weight(s) == pytest.approx(
+                    networkx_reduced_weight(new, s)
+                )
+                assert new.matching_weight(s) == pytest.approx(
+                    new.matching_weight(s, matcher="legacy")
+                )
+        assert max(seen, default=0) > mwpm_module.DP_DEFECT_LIMIT
+
+    @pytest.mark.parametrize(
+        "p,rounds,defective",
+        [
+            (3e-3, 25, None),
+            (6e-3, 15, None),
+            (1e-3, 10, {(3, 3), (5, 5)}),  # untreated-defect circuit
+        ],
+    )
+    def test_dense_memory_circuits(self, monkeypatch, p, rounds, defective):
+        """p ≥ 3e-3 and untreated-defect runs at d=5: the native engine
+        handles >14-defect components and agrees with networkx on total
+        weight (and with the legacy path on predictions)."""
+        seen = self._force_native(monkeypatch)
+        patch = rotated_surface_code(5)
+        circuit = memory_circuit(
+            patch.code,
+            "Z",
+            rounds,
+            NoiseModel.uniform(p),
+            defective_data=defective,
+        )
+        dem = build_dem(circuit)
+        new = MatchingDecoder(dem)
+        legacy = MatchingDecoder(dem, use_matrices=False, cache_size=0)
+        detectors, _ = sample_detectors(circuit, 60, seed=7)
+        assert (
+            new.decode_batch(detectors) == legacy.decode_batch(detectors)
+        ).all()
+        dense_rows = np.nonzero(
+            detectors.sum(axis=1) > mwpm_module.DP_DEFECT_LIMIT
+        )[0]
+        assert dense_rows.size > 0
+        for row in dense_rows[:10]:
+            assert new.matching_weight(detectors[row]) == pytest.approx(
+                networkx_reduced_weight(new, detectors[row])
+            )
+        assert max(seen, default=0) > mwpm_module.DP_DEFECT_LIMIT
+
+
+class TestShardedDecode:
+    def test_workers_match_serial(self):
+        rng = np.random.default_rng(71)
+        dem = random_dem(rng, max_detectors=9)
+        serial = MatchingDecoder(dem)
+        sharded = MatchingDecoder(dem, workers=2)
+        samples = rng.integers(
+            0, 2, size=(300, dem.num_detectors), dtype=np.uint8
+        )
+        expected = serial.decode_batch(samples)
+        assert (sharded.decode_batch(samples) == expected).all()
+        # Per-call override beats the constructor setting.
+        assert (
+            MatchingDecoder(dem).decode_batch(samples, workers=2) == expected
+        ).all()
+
+    def test_sharded_batch_warms_parent_cache(self):
+        rng = np.random.default_rng(72)
+        dem = random_dem(rng, max_detectors=8)
+        dec = MatchingDecoder(dem, workers=2)
+        samples = rng.integers(
+            0, 2, size=(200, dem.num_detectors), dtype=np.uint8
+        )
+        dec.decode_batch(samples)
+        assert len(dec._cache) > 0
+        hits_before = dec.cache_hits
+        dec.decode_batch(samples)
+        assert dec.cache_hits > hits_before
+
+    def test_small_batches_stay_serial(self):
+        rng = np.random.default_rng(73)
+        dem = random_dem(rng)
+        dec = MatchingDecoder(dem, workers=4)
+        # A handful of unique syndromes is below the sharding floor.
+        assert not dec._can_shard(4, 4)
+
+    def test_invalid_workers_rejected(self):
+        rng = np.random.default_rng(74)
+        dem = random_dem(rng)
+        with pytest.raises(ValueError):
+            MatchingDecoder(dem, workers=0)
+
+
+class TestEmptyBatch:
+    def test_zero_shots_error_rate_is_zero(self):
+        """Regression: empty batches returned NaN with a RuntimeWarning."""
+        rng = np.random.default_rng(75)
+        dem = random_dem(rng)
+        dec = MatchingDecoder(dem)
+        detectors = np.zeros((0, dem.num_detectors), dtype=np.uint8)
+        observables = np.zeros((0, 1), dtype=np.uint8)
+        with np.errstate(invalid="raise"):
+            rate = dec.logical_error_rate(detectors, observables)
+        assert rate == 0.0
 
 
 class TestSeedDerivation:
