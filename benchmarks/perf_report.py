@@ -12,11 +12,14 @@ standard p = 1e-3 circuit noise:
                   alone (and its ``mechanism_count``),
 * ``decode``    — throughput per decoder method (shots/sec, best of
                   ``DECODE_REPS`` cold-cache runs to damp heavy-tail /
-                  thermal noise), including ``blossom_legacy``: the
-                  seed's per-shot-Dijkstra path (``use_matrices=False``,
-                  no syndrome cache, matching by the same native
-                  engine), which is the baseline the ≥10× acceptance
-                  criterion is measured against at d = 7.
+                  thermal noise), including ``blossom_packed`` — the
+                  batch pipeline fed packed uint64 detector bitplanes
+                  straight from the sampler (no uint8 round-trip) —
+                  and ``blossom_legacy``: the seed's per-shot-Dijkstra
+                  path (``use_matrices=False``, no syndrome cache,
+                  matching by the same native engine), which is the
+                  baseline the ≥10× acceptance criterion is measured
+                  against at d = 7.
 
 Run with ``PYTHONPATH=src python benchmarks/perf_report.py``; optional
 ``--distances 3,5,7,9`` and ``--benchmarks build,sample,decode`` filter
@@ -42,13 +45,18 @@ plus benchmark-specific bookkeeping: ``rounds`` (all), ``seconds``
 decode), and for decode records ``reps`` (cold-cache repetitions) and
 ``workers`` — the process-pool width used by ``decode_batch``; ``1``
 means the serial path, larger values are the sharded path and appear
-only when ``--workers`` is given.
+only when ``--workers`` is given.  Every record also carries a
+``machine`` dict (``nproc``, ``cpu``, ``python``/``numpy``/``scipy``
+versions) so numbers recorded in different containers — e.g. the
+1-core CI runner vs a laptop — are self-explaining when diffed.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform
 import sys
 import time
 from pathlib import Path
@@ -56,6 +64,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np  # noqa: E402
+import scipy  # noqa: E402
 
 from repro.decode import MatchingDecoder  # noqa: E402
 from repro.sim import NoiseModel, build_dem, memory_circuit, sample_detectors  # noqa: E402
@@ -79,6 +88,26 @@ SMOKE_MIN_SPEEDUP = 2.0
 
 def _rate(count: int, seconds: float) -> float:
     return count / seconds if seconds > 0 else float("inf")
+
+
+def _machine_metadata() -> dict:
+    """CPU/toolchain facts attached to every record (see module doc)."""
+    cpu = platform.processor() or ""
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("model name"):
+                    cpu = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    return {
+        "nproc": os.cpu_count(),
+        "cpu": cpu,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+    }
 
 
 def profile_distance(
@@ -151,8 +180,14 @@ def profile_distance(
 
     if "decode" not in benchmarks:
         return records
+    # The packed record decodes the same sample bits as the uint8 rows
+    # (equal seed, equal draws), shipped as uint64 detector bitplanes.
+    packed_detectors, _ = sample_detectors(
+        circuit, shots, seed=11, packed_output=True
+    )
     methods: list[tuple[str, dict, int]] = [
         ("blossom", {}, shots),
+        ("blossom_packed", {}, shots),
         ("uf", {"method": "uf"}, shots),
         ("greedy", {"method": "greedy"}, shots),
         ("blossom_legacy", {"use_matrices": False, "cache_size": 0}, legacy_shots),
@@ -170,10 +205,11 @@ def profile_distance(
         seconds = float("inf")
         for _ in range(DECODE_REPS):
             dec = MatchingDecoder(dem, **kwargs)
-            if name == "blossom":
+            if name.startswith("blossom") and name != "blossom_legacy":
                 dec.graph.ensure_matrices()  # outside the timed region
+            data = packed_detectors if name == "blossom_packed" else detectors[:n]
             t0 = time.perf_counter()
-            dec.decode_batch(detectors[:n])
+            dec.decode_batch(data)
             seconds = min(seconds, time.perf_counter() - t0)
         records.append(
             {
@@ -245,6 +281,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown benchmarks: {sorted(unknown)}")
     out_path = Path(args.out if args.out is not None else default_out)
 
+    machine = _machine_metadata()
     all_records: list[dict] = []
     for d in distances:
         print(f"profiling d={d} ({ROUNDS} rounds, p={NOISE_P}) ...", flush=True)
@@ -266,6 +303,8 @@ def main(argv: list[str] | None = None) -> int:
         for method, rate in by_method.items():
             rel = rate / legacy if legacy else float("nan")
             print(f"  decode/{method:<15} {rate:>10.1f} shots/s  ({rel:5.1f}x legacy)")
+    for record in all_records:
+        record["machine"] = machine
     out_path.write_text(json.dumps(all_records, indent=2) + "\n")
     print(f"wrote {out_path} ({len(all_records)} records)")
 

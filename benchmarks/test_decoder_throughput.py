@@ -6,7 +6,8 @@ series — exact blossom (matrix-backed), union-find, greedy — against
 the seed's per-shot-Dijkstra blossom on one d=5 memory experiment, and
 pins the ordering that makes high-shot Monte-Carlo runs viable: every
 batched method must beat the legacy path by a wide margin, and the
-union-find decoder must be at least as fast as exact matching.
+union-find decoder must stay within an order of magnitude of the
+vectorised exact matcher.
 """
 
 import time
@@ -65,4 +66,8 @@ def test_decoder_method_throughput(benchmark, table):
     assert rates["blossom"] > 2 * rates["blossom_legacy"]
     assert rates["uf"] > 2 * rates["blossom_legacy"]
     assert rates["greedy"] > 2 * rates["blossom_legacy"]
-    assert rates["uf"] > 0.5 * rates["blossom"]
+    # Since the vectorised batch pipeline (PR 4), exact matching is the
+    # fastest accurate method at d ≤ 7 — union-find still decodes its
+    # unique syndromes one by one, so it only needs to stay within an
+    # order of magnitude to remain a useful accuracy baseline.
+    assert rates["uf"] > 0.1 * rates["blossom"]

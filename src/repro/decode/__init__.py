@@ -1,21 +1,27 @@
 """High-throughput decoding (the PyMatching substitute).
 
 Exact blossom matching, nearest-neighbour greedy, and an almost-linear
-union-find decoder behind one batched, syndrome-cached front-end, all
-reading pairwise path data from precomputed all-pairs matrices.
-Matching runs on the package's own primal–dual blossom engine
+union-find decoder behind one batch-first front-end
+(:class:`repro.decode.base.Decoder`): syndrome canonicalisation (uint8
+rows or packed uint64 bitplanes), zero-syndrome fast path, unique-
+syndrome deduplication, a syndrome LRU, and forked-pool sharding
+(``workers=N``).  Matrix-backed blossom batches additionally run the
+vectorised component pipeline (:mod:`repro.decode.batch`): stacked
+all-pairs lookups, one ``connected_components`` call over the whole
+batch, and size-bucketed stacked subset DPs.  Matching runs on the
+package's own primal–dual blossom engine
 (:mod:`repro.decode.blossom`); no external graph library is imported
-anywhere under ``repro.decode``.  Dense-syndrome batches can shard
-their unique syndromes across a forked worker pool
-(``MatchingDecoder(..., workers=N)``).
+anywhere under ``repro.decode``.
 """
 
+from repro.decode.base import Decoder
 from repro.decode.blossom import min_weight_perfect_matching
 from repro.decode.graph import DecodingGraph
 from repro.decode.mwpm import MatchingDecoder
 from repro.decode.uf import UnionFindDecoder
 
 __all__ = [
+    "Decoder",
     "MatchingDecoder",
     "DecodingGraph",
     "UnionFindDecoder",

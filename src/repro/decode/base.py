@@ -1,0 +1,328 @@
+"""Shared batch-first decoder contract.
+
+Every decoder in the package — exact matching, greedy, union-find, and
+the legacy per-shot-Dijkstra formulation — decodes *defect sets* (the
+tuple of fired detector indices below the graph's detector count).
+:class:`Decoder` owns everything around that core so each backend only
+implements :meth:`Decoder._decode_defects`:
+
+* **canonicalisation** — ``decode_batch`` accepts a ``(shots,
+  detectors)`` uint8 array, a 1-D single shot, or a
+  :class:`~repro.utils.gf2.PackedBits` bitplane straight from the
+  packed sampler (rows = detectors, bits = shots).  Packed input is
+  deduplicated on packed per-shot words and only the *unique* syndromes
+  are ever unpacked, so a ``(shots, detectors)`` uint8 array never
+  materialises.
+* **zero-syndrome fast path** — one ``any``-reduction drops the all-
+  zero shots that dominate low-error-rate batches.
+* **deduplication** — ``np.unique`` collapses the batch to its unique
+  nonzero syndromes; predictions scatter back through the inverse map.
+* **syndrome LRU** — decoded predictions are cached keyed on the
+  defect tuple; repeat syndromes across batches are dictionary hits.
+* **sharding** — ``workers=N`` forks a process pool over the unique
+  syndromes (copy-on-write graph data, results absorbed into the
+  parent's cache); see :meth:`Decoder._decode_unique_parallel`.
+
+Single-shot :meth:`Decoder.decode` is a thin wrapper over the same
+machinery.  Subclasses may override :meth:`Decoder._decode_misses` to
+decode a list of cache-missing unique syndromes at once — that is the
+hook the vectorised component pipeline (:mod:`repro.decode.batch`)
+plugs into.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.utils.gf2 import PackedBits, gf2_unpack
+
+__all__ = ["Decoder", "DEFAULT_CACHE_SIZE"]
+
+#: Default maximum number of cached syndromes per decoder.
+DEFAULT_CACHE_SIZE = 65536
+
+#: Minimum number of unique syndromes per worker before decode_batch
+#: bothers forking: below this the pool start-up cost dominates.
+_MIN_SYNDROMES_PER_WORKER = 32
+
+#: Decoder a forked pool worker decodes against (inherited copy-on-write
+#: from the parent at fork time; never set in the parent's own workers).
+#: Guarded by ``_POOL_LOCK`` for the set→fork window so concurrent
+#: ``decode_batch`` calls from different threads cannot fork against
+#: the wrong decoder.
+_POOL_DECODER: "Decoder | None" = None
+_POOL_LOCK = threading.Lock()
+
+
+def _pool_decode(defects: tuple[int, ...]) -> int:
+    return _POOL_DECODER._decode_cached(defects)
+
+
+class Decoder:
+    """Batched, cached, shardable front-end over ``_decode_defects``."""
+
+    def __init__(
+        self,
+        graph,
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        workers: int | None = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be a positive integer")
+        self.graph = graph
+        self.num_detectors = graph.num_detectors
+        self.workers = workers
+        self.cache_size = cache_size
+        self._cache: OrderedDict[tuple[int, ...], int] | None = (
+            OrderedDict() if cache_size > 0 else None
+        )
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- the backend contract ------------------------------------------
+    def _decode_defects(self, defects: tuple[int, ...]) -> int:
+        """Predicted observable flip for one nonempty defect set."""
+        raise NotImplementedError
+
+    def _decode_misses(self, defect_sets: list[tuple[int, ...]]) -> np.ndarray:
+        """Decode cache-missing unique syndromes (override to vectorise)."""
+        return np.fromiter(
+            (self._decode_defects(d) for d in defect_sets),
+            dtype=np.uint8,
+            count=len(defect_sets),
+        )
+
+    # -- single-shot front door ----------------------------------------
+    def decode(self, detector_sample: np.ndarray) -> int:
+        """Predicted observable flip (0/1) for one shot's detector bits."""
+        sample = np.asarray(detector_sample)
+        nonzero = np.nonzero(sample)[0]
+        limit = self.num_detectors
+        defects = tuple(int(d) for d in nonzero if d < limit)
+        return self._decode_cached(defects)
+
+    def _decode_cached(self, defects: tuple[int, ...]) -> int:
+        if not defects:
+            return 0
+        cache = self._cache
+        if cache is not None:
+            cached = cache.get(defects)
+            if cached is not None:
+                cache.move_to_end(defects)
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
+        result = self._decode_defects(defects)
+        if cache is not None:
+            cache[defects] = result
+            if len(cache) > self.cache_size:
+                cache.popitem(last=False)
+        return result
+
+    # -- batch front door ----------------------------------------------
+    def decode_batch(
+        self,
+        detector_samples: np.ndarray | PackedBits,
+        *,
+        workers: int | None = None,
+    ) -> np.ndarray:
+        """Vector of predictions, one per shot.
+
+        ``detector_samples`` is a ``(shots, detectors)`` uint8 array, a
+        1-D single shot, or a :class:`PackedBits` detector bitplane
+        (rows = detectors, bits = shots) from the packed sampler.
+        ``workers=N`` (or the constructor default) shards the unique
+        nonzero syndromes across ``N`` forked processes; serial,
+        sharded, and packed decoding produce identical predictions.
+        """
+        if isinstance(detector_samples, PackedBits):
+            rows = detector_samples.transpose().words
+            num_shots = detector_samples.num_bits
+            row_width = detector_samples.num_rows
+        else:
+            rows = np.asarray(detector_samples, dtype=np.uint8)
+            if rows.ndim == 1:
+                rows = rows.reshape(1, -1)
+            num_shots = len(rows)
+            row_width = rows.shape[1]
+        predictions = np.zeros(num_shots, dtype=np.uint8)
+        if num_shots == 0:
+            return predictions
+        nonzero_rows = np.nonzero(rows.any(axis=1))[0]
+        if nonzero_rows.size == 0:
+            return predictions
+        unique, inverse = np.unique(
+            rows[nonzero_rows], axis=0, return_inverse=True
+        )
+        inverse = inverse.reshape(-1)
+        if isinstance(detector_samples, PackedBits):
+            unique = gf2_unpack(unique, row_width)
+        defect_sets = _defect_tuples(unique, self.num_detectors)
+        if workers is None:
+            workers = self.workers
+        if (
+            workers is not None
+            and workers > 1
+            and self._can_shard(len(defect_sets), workers)
+        ):
+            unique_predictions = self._decode_unique_parallel(
+                defect_sets, workers
+            )
+        else:
+            unique_predictions = self._decode_unique(defect_sets)
+        predictions[nonzero_rows] = unique_predictions[inverse]
+        return predictions
+
+    def logical_error_rate(
+        self,
+        detector_samples: np.ndarray | PackedBits,
+        observable_samples: np.ndarray | PackedBits,
+    ) -> float:
+        """Fraction of shots where the prediction misses the actual flip.
+
+        An empty batch has no misses: zero shots return 0.0 instead of
+        propagating a ``mean of empty slice`` NaN.
+        """
+        predictions = self.decode_batch(detector_samples)
+        if len(predictions) == 0:
+            return 0.0
+        if isinstance(observable_samples, PackedBits):
+            actual = observable_samples.column_parity()
+        else:
+            actual = np.asarray(observable_samples).reshape(
+                len(predictions), -1
+            )
+            actual = (actual.sum(axis=1) % 2).astype(np.uint8)
+        return float((predictions != actual).mean())
+
+    # -- unique-syndrome decoding --------------------------------------
+    def _cache_scan(
+        self, defect_sets: list[tuple[int, ...]], out: np.ndarray
+    ) -> list[int]:
+        """Resolve cache hits into ``out``; return the miss indices.
+
+        Empty defect sets decode to 0 and never touch the cache.
+        """
+        cache = self._cache
+        if cache is None:
+            return [i for i, d in enumerate(defect_sets) if d]
+        misses: list[int] = []
+        for i, defects in enumerate(defect_sets):
+            if not defects:
+                continue
+            cached = cache.get(defects)
+            if cached is not None:
+                cache.move_to_end(defects)
+                self.cache_hits += 1
+                out[i] = cached
+            else:
+                misses.append(i)
+        return misses
+
+    def _decode_unique(self, defect_sets: list[tuple[int, ...]]) -> np.ndarray:
+        """Cache-aware decoding of the batch's unique defect sets."""
+        out = np.zeros(len(defect_sets), dtype=np.uint8)
+        misses = self._cache_scan(defect_sets, out)
+        if misses:
+            results = self._decode_misses([defect_sets[i] for i in misses])
+            self._absorb_results(out, defect_sets, misses, results)
+        return out
+
+    def _absorb_results(self, out, defect_sets, misses, results) -> None:
+        """Scatter miss results into ``out`` and warm the cache."""
+        cache = self._cache
+        for i, result in zip(misses, results):
+            out[i] = result
+            if cache is not None:
+                self.cache_misses += 1
+                cache[defect_sets[i]] = int(result)
+                if len(cache) > self.cache_size:
+                    cache.popitem(last=False)
+
+    # -- forked-pool sharding ------------------------------------------
+    def _can_shard(self, num_unique: int, workers: int) -> bool:
+        """Whether forking a pool is worthwhile (and safe) here."""
+        if num_unique < workers * _MIN_SYNDROMES_PER_WORKER:
+            return False
+        # macOS advertises fork but aborts forked children that touch
+        # Apple-framework state; only Linux fork is trusted here.
+        return sys.platform.startswith("linux") and (
+            "fork" in multiprocessing.get_all_start_methods()
+        )
+
+    def _prepare_fork(self) -> None:
+        """Build anything workers should inherit copy-on-write (hook)."""
+
+    def _decode_unique_parallel(
+        self, defect_sets: list[tuple[int, ...]], workers: int
+    ) -> np.ndarray:
+        """Shard unique-syndrome decoding across a forked process pool.
+
+        The decoder (path matrices included) is inherited by each
+        worker copy-on-write at fork time, so nothing large is pickled;
+        only the defect tuples and the uint8 results cross the pipe.
+        Cache hits are resolved in the parent first, and the parent's
+        syndrome LRU absorbs the workers' results afterwards, so a
+        sharded batch warms the cache exactly like a serial one.
+
+        Caveat: decoders whose per-shot state is rebuilt on demand
+        (e.g. ``use_matrices=False`` path caches) duplicate that work
+        across workers and discard it with the pool — results stay
+        correct but the speed-up erodes there.
+        """
+        self._prepare_fork()
+        cache = self._cache
+        out = np.zeros(len(defect_sets), dtype=np.uint8)
+        misses = self._cache_scan(defect_sets, out)
+        if len(misses) < workers * _MIN_SYNDROMES_PER_WORKER:
+            # A warm cache can shrink a shard-worthy batch to a handful
+            # of misses; forking a pool for those loses to the serial
+            # loop, so the floor is re-checked on the actual work.
+            results = self._decode_misses([defect_sets[i] for i in misses])
+            self._absorb_results(out, defect_sets, misses, results)
+            return out
+        global _POOL_DECODER
+        ctx = multiprocessing.get_context("fork")
+        chunk = max(1, len(misses) // (workers * 8))
+        # The lock spans the pool's whole lifetime: initial workers fork
+        # with this decoder, and so does any replacement the pool
+        # respawns after an abnormal worker death.  Concurrent sharded
+        # batches from other threads serialise here — overlapping
+        # process pools would only fight for the same cores.
+        with _POOL_LOCK:
+            _POOL_DECODER = self
+            try:
+                with ctx.Pool(workers) as pool:
+                    results = pool.map(
+                        _pool_decode,
+                        [defect_sets[i] for i in misses],
+                        chunksize=chunk,
+                    )
+            finally:
+                _POOL_DECODER = None
+        self._absorb_results(out, defect_sets, misses, results)
+        return out
+
+
+def _defect_tuples(
+    unique_rows: np.ndarray, limit: int
+) -> list[tuple[int, ...]]:
+    """Defect tuples of every unique syndrome row, in one vector pass.
+
+    One global ``np.nonzero`` plus a ``searchsorted`` split replaces the
+    per-row Python ``np.nonzero`` loop; only the tuple materialisation
+    (needed as cache keys and fork payloads) stays per-row.
+    """
+    width = unique_rows.shape[1]
+    clipped = unique_rows[:, :limit] if limit < width else unique_rows
+    rows, cols = np.nonzero(clipped)
+    if len(unique_rows) == 1:
+        return [tuple(cols.tolist())]
+    splits = np.searchsorted(rows, np.arange(1, len(unique_rows)))
+    return [tuple(part.tolist()) for part in np.split(cols, splits)]

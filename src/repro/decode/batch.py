@@ -1,0 +1,408 @@
+"""Vectorised batch decoding of unique syndromes (blossom method).
+
+The serial matrix path (:meth:`MatchingDecoder._decode_blossom_matrix`)
+spends its time in per-shot Python: matrix gathers, a BFS over the
+pairable graph, and one subset-DP per component.  This module runs the
+identical algorithm over *all* unique syndromes of a batch at once:
+
+1. **Stacked lookups** — syndromes are grouped by defect count ``k``
+   and their pairwise distance/parity/boundary arrays gathered as
+   ``(group, k, k)`` tensors in a handful of fancy-indexing calls.
+2. **Batch component labelling** — the pairable edges of every
+   syndrome are block-stacked into one sparse adjacency over all
+   defect occurrences and labelled with a single
+   :func:`scipy.sparse.csgraph.connected_components` call (edges never
+   cross syndromes, so labels respect syndrome boundaries by
+   construction).
+3. **Size-class bucketing** — components are bucketed by size:
+   singletons and pairs resolve with pure array ops, mid-size
+   components run the subset DP *stacked* (one gather + ``argmin`` per
+   popcount level for every same-size component simultaneously), and
+   only components beyond :data:`DP_DEFECT_LIMIT` defects fall through
+   to the native blossom engine one by one.
+
+Every numerical step reproduces the serial path operation-for-
+operation — the same symmetrisation, the same transition tables, the
+same tie-breaking ``argmin`` — so predictions are bit-identical to
+per-shot decoding; the agreement suites pin this.
+
+The subset-DP transition tables (:func:`_dp_tables`) and the DP size
+limits live here and are shared with the serial matchers in
+:mod:`repro.decode.mwpm`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DP_SCALAR_LIMIT",
+    "DP_DEFECT_LIMIT",
+    "decode_blossom_batch",
+]
+
+#: Up to this many defects the exact subset-DP matchers replace blossom:
+#: a scalar DP below ``DP_SCALAR_LIMIT``, a numpy level-batched DP with
+#: cached per-size index tables up to ``DP_DEFECT_LIMIT``.
+DP_SCALAR_LIMIT = 7
+DP_DEFECT_LIMIT = 14
+
+#: Cap on ``group × k²`` gather elements per edge-construction chunk;
+#: bounds peak memory to tens of MB.
+_BATCH_ELEMENT_LIMIT = 1 << 22
+
+#: Largest component size the *stacked* DP handles; beyond it the
+#: per-level gathers (``chunk × C(k, k/2) × k/2`` floats) overflow the
+#: CPU cache and the serial level-batched DP — whose working set is one
+#: component's ``2^k`` table — is measurably faster per component.
+_DP_STACK_MAX = 11
+
+#: Cap on ``chunk × 2**k`` stacked-DP table elements; keeps each
+#: level's gather within cache (the sweet spot measured on the d=7
+#: benchmark: chunks of 64–512 components depending on ``k``).
+_DP_CHUNK_ELEMENTS = 1 << 16
+
+# Per-defect-count transition tables for the vectorised subset DP,
+# shared across decoders (built once per k, a few MB total).
+_DP_TABLES: dict[int, list] = {}
+
+
+def _dp_tables(k: int) -> list:
+    """Level-batched transition tables for the k-defect subset DP.
+
+    For every defect-subset mask, the lowest member ``i`` either pairs
+    with another member ``j``, routes to the boundary, or dangles.  All
+    masks of equal popcount ``c`` have exactly ``c + 1`` transitions,
+    so each level is three dense ``(num_masks, c + 1)`` index arrays:
+
+    * ``cost_idx`` into the flat cost vector ``[W (k²), boundary (k),
+      dangle (1)]`` (parities share the same layout),
+    * ``other_idx`` — the submask the transition recurses into,
+    * ``masks`` — the DP slots this level writes.
+
+    Transition order is pairs by ascending ``j``, then boundary, then
+    dangle, so ``argmin`` tie-breaking matches the scalar DP.
+    """
+    tables = _DP_TABLES.get(k)
+    if tables is not None:
+        return tables
+    from itertools import combinations
+
+    tables = []
+    boundary_base = k * k
+    dangle_idx = k * k + k
+    for c in range(1, k + 1):
+        masks = []
+        cost_idx = []
+        other_idx = []
+        for members in combinations(range(k), c):
+            mask = 0
+            for m in members:
+                mask |= 1 << m
+            i = members[0]
+            rest = mask ^ (1 << i)
+            row_cost = []
+            row_other = []
+            for j in members[1:]:
+                row_cost.append(i * k + j)
+                row_other.append(rest ^ (1 << j))
+            row_cost.append(boundary_base + i)
+            row_other.append(rest)
+            row_cost.append(dangle_idx)
+            row_other.append(rest)
+            masks.append(mask)
+            cost_idx.append(row_cost)
+            other_idx.append(row_other)
+        tables.append(
+            (
+                np.array(masks, dtype=np.int64),
+                np.array(cost_idx, dtype=np.int64),
+                np.array(other_idx, dtype=np.int64),
+            )
+        )
+    _DP_TABLES[k] = tables
+    return tables
+
+
+def _gather(dist, par, b_col, det):
+    """Stacked route arrays for ``(batch, k)`` defect index rows.
+
+    Returns ``(W, use_pair, pairable, P, b_dist, b_par)`` exactly as
+    the serial path computes them per shot: distances symmetrised
+    (Dijkstra rows round independently), pair cost floored by the
+    two-boundary route, ``use_pair`` preferring the pair on ties.
+    """
+    D = dist[det[:, :, None], det[:, None, :]]
+    D = np.minimum(D, np.swapaxes(D, 1, 2))
+    P = par[det[:, :, None], det[:, None, :]]
+    b_dist = dist[det, b_col]
+    b_par = par[det, b_col]
+    via_boundary = b_dist[:, :, None] + b_dist[:, None, :]
+    W = np.minimum(D, via_boundary)
+    use_pair = D <= via_boundary
+    pairable = use_pair & np.isfinite(D)
+    k = det.shape[1]
+    pairable &= ~np.eye(k, dtype=bool)
+    return W, use_pair, pairable, P, b_dist, b_par
+
+
+def _pairable(dist, b_col, det):
+    """Just the pairable-adjacency mask of :func:`_gather`.
+
+    Edge construction only needs ``d ≤ b(a)+b(b)`` and finiteness;
+    skipping the parity/W gathers halves the fancy-indexing volume of
+    the decomposition stage.
+    """
+    D = dist[det[:, :, None], det[:, None, :]]
+    D = np.minimum(D, np.swapaxes(D, 1, 2))
+    b_dist = dist[det, b_col]
+    pairable = (D <= b_dist[:, :, None] + b_dist[:, None, :]) & np.isfinite(D)
+    pairable &= ~np.eye(det.shape[1], dtype=bool)
+    return pairable
+
+
+def _dp_match_batch(k, W, use_pair, P, b_dist, b_par) -> np.ndarray:
+    """Stacked subset DP over ``(batch, k, k)`` component arrays.
+
+    Identical recurrence, transition tables and tie-breaking as the
+    per-component DPs in :mod:`repro.decode.mwpm`; the only new axis is
+    the leading batch dimension.  The dangle cost (the penalty that
+    makes unmatched defects strictly worse than any real matching) is
+    reduced per component with the same operations as the serial DPs so
+    intermediate floats — and therefore tie resolution — match them
+    bit-for-bit.
+    """
+    batch = W.shape[0]
+    route_par = np.where(
+        use_pair, P, b_par[:, :, None] ^ b_par[:, None, :]
+    ).astype(np.uint8)
+    finite_b = np.isfinite(b_dist)
+    # The serial DPs reduce the finite entries with differently-grouped
+    # sums; the value only needs to exceed every achievable matching
+    # cost (it is selected solely for stranded defects, where every
+    # alternative is +inf), so the vectorised reduction's last-ulp
+    # differences cannot change predictions.
+    dangle = (
+        1.0
+        + np.where(np.isfinite(W), W, 0.0).sum(axis=(1, 2))
+        + np.where(finite_b, b_dist, 0.0).sum(axis=1)
+    )
+    cost_flat = np.concatenate(
+        [
+            W.reshape(batch, -1),
+            np.where(finite_b, b_dist, np.inf),
+            dangle[:, None],
+        ],
+        axis=1,
+    )
+    par_flat = np.concatenate(
+        [
+            route_par.reshape(batch, -1),
+            b_par.astype(np.uint8),
+            np.zeros((batch, 1), dtype=np.uint8),
+        ],
+        axis=1,
+    )
+    f = np.zeros((batch, 1 << k))
+    g = np.zeros((batch, 1 << k), dtype=np.uint8)
+    rows = None
+    for masks, cost_idx, other_idx in _dp_tables(k):
+        costs = cost_flat[:, cost_idx] + f[:, other_idx]
+        choice = np.argmin(costs, axis=2)
+        if rows is None or rows.shape[1] != len(masks):
+            rows = np.arange(len(masks))[None, :]
+        f[:, masks] = np.take_along_axis(costs, choice[:, :, None], axis=2)[
+            :, :, 0
+        ]
+        g[:, masks] = np.take_along_axis(
+            par_flat, cost_idx[rows, choice], axis=1
+        ) ^ np.take_along_axis(g, other_idx[rows, choice], axis=1)
+    return g[:, (1 << k) - 1]
+
+
+def _dp_bucket(decoder, out, syn_ids, det, dist, par, b_col) -> None:
+    """Run one same-size DP bucket (chunked) and XOR results into out.
+
+    Sizes up to :data:`_DP_STACK_MAX` run the stacked DP in cache-sized
+    chunks; larger ones loop the serial level-batched DP per component
+    (identical recurrence — see :data:`_DP_STACK_MAX`).
+    """
+    k = det.shape[1]
+    if k > _DP_STACK_MAX:
+        W, use_pair, _, P, b_dist, b_par = _gather(dist, par, b_col, det)
+        results = np.fromiter(
+            (
+                decoder._dp_match_vec(
+                    k, W[i], use_pair[i], P[i], b_dist[i], b_par[i]
+                )
+                for i in range(len(det))
+            ),
+            dtype=np.uint8,
+            count=len(det),
+        )
+        np.bitwise_xor.at(out, syn_ids, results)
+        return
+    chunk = max(1, _DP_CHUNK_ELEMENTS >> k)
+    for start in range(0, len(det), chunk):
+        sl = slice(start, start + chunk)
+        W, use_pair, _, P, b_dist, b_par = _gather(
+            dist, par, b_col, det[sl]
+        )
+        np.bitwise_xor.at(
+            out,
+            syn_ids[sl],
+            _dp_match_batch(k, W, use_pair, P, b_dist, b_par),
+        )
+
+
+def decode_blossom_batch(decoder, defect_sets) -> np.ndarray:
+    """Predictions for a list of unique nonempty defect tuples.
+
+    ``decoder`` is a matrix-backed blossom :class:`MatchingDecoder`;
+    the result is bit-identical to calling its serial
+    ``_decode_defects`` on each tuple.
+    """
+    dist, par = decoder.graph.ensure_matrices()
+    b_col = decoder.graph.boundary_index
+    num = len(defect_sets)
+    out = np.zeros(num, dtype=np.uint8)
+    if num == 0:
+        return out
+    counts = np.fromiter(
+        (len(d) for d in defect_sets), dtype=np.int64, count=num
+    )
+    flat_det = np.fromiter(
+        (d for ds in defect_sets for d in ds),
+        dtype=np.int64,
+        count=int(counts.sum()),
+    )
+    offsets = np.zeros(num + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+
+    # --- k == 1: lone defect routes to the boundary when reachable.
+    ones = np.nonzero(counts == 1)[0]
+    if ones.size:
+        det = flat_det[offsets[ones]]
+        b_dist = dist[det, b_col]
+        out[ones] = np.where(np.isfinite(b_dist), par[det, b_col], 0)
+
+    # --- k == 2: pair route, two boundary routes, or stranded.
+    twos = np.nonzero(counts == 2)[0]
+    if twos.size:
+        a = flat_det[offsets[twos]]
+        b = flat_det[offsets[twos] + 1]
+        D = np.minimum(dist[a, b], dist[b, a])
+        b_a, b_b = dist[a, b_col], dist[b, b_col]
+        via = b_a + b_b
+        W = np.minimum(D, via)
+        pair_or_via = np.where(
+            D <= via, par[a, b], par[a, b_col] ^ par[b, b_col]
+        )
+        alone = np.where(np.isfinite(b_a), par[a, b_col], 0) ^ np.where(
+            np.isfinite(b_b), par[b, b_col], 0
+        )
+        out[twos] = np.where(np.isfinite(W), pair_or_via, alone)
+
+    # --- 3 ≤ k ≤ DP_SCALAR_LIMIT: whole-set subset DP, no
+    # decomposition — mirroring the serial path's small-k shortcut.
+    for k in range(3, DP_SCALAR_LIMIT + 1):
+        rows = np.nonzero(counts == k)[0]
+        if rows.size:
+            det = flat_det[offsets[rows, None] + np.arange(k)[None, :]]
+            _dp_bucket(decoder, out, rows, det, dist, par, b_col)
+
+    # --- k > DP_SCALAR_LIMIT: decompose every syndrome's pairable
+    # graph in one block-stacked connected_components call, then
+    # bucket the components by size class.
+    big = np.nonzero(counts > DP_SCALAR_LIMIT)[0]
+    if big.size == 0:
+        return out
+    edge_u: list[np.ndarray] = []
+    edge_v: list[np.ndarray] = []
+    for k in np.unique(counts[big]):
+        rows = np.nonzero(counts == k)[0]
+        iu, ju = np.triu_indices(int(k), 1)
+        chunk = max(1, _BATCH_ELEMENT_LIMIT // int(k * k))
+        for start in range(0, rows.size, chunk):
+            sub = rows[start : start + chunk]
+            det = flat_det[offsets[sub, None] + np.arange(k)[None, :]]
+            pairable = _pairable(dist, b_col, det)
+            g, e = np.nonzero(pairable[:, iu, ju])
+            base = offsets[sub][g]
+            edge_u.append(base + iu[e])
+            edge_v.append(base + ju[e])
+
+    from scipy.sparse import coo_matrix
+    from scipy.sparse.csgraph import connected_components
+
+    num_nodes = int(offsets[-1])
+    us = np.concatenate(edge_u) if edge_u else np.zeros(0, dtype=np.int64)
+    vs = np.concatenate(edge_v) if edge_v else np.zeros(0, dtype=np.int64)
+    adjacency = coo_matrix(
+        (np.ones(len(us), dtype=np.uint8), (us, vs)),
+        shape=(num_nodes, num_nodes),
+    )
+    _, labels = connected_components(adjacency, directed=False)
+
+    # Keep only nodes of the decomposed syndromes, grouped by label.
+    big_counts = counts[big]
+    big_total = int(big_counts.sum())
+    run_starts = np.zeros(len(big), dtype=np.int64)
+    np.cumsum(big_counts[:-1], out=run_starts[1:])
+    big_nodes = (
+        np.arange(big_total) + np.repeat(offsets[big] - run_starts, big_counts)
+    )
+    node_syn = np.repeat(big, big_counts)
+    big_labels = labels[big_nodes]
+    order = np.argsort(big_labels, kind="stable")
+    sorted_nodes = big_nodes[order]  # ascending node id within a label
+    sorted_syn = node_syn[order]
+    sorted_labels = big_labels[order]
+    comp_starts = np.concatenate(
+        [[0], np.nonzero(np.diff(sorted_labels))[0] + 1, [len(sorted_nodes)]]
+    )
+    comp_sizes = np.diff(comp_starts)
+
+    # Singleton components: boundary route (vectorised).
+    single = np.nonzero(comp_sizes == 1)[0]
+    if single.size:
+        nodes = sorted_nodes[comp_starts[single]]
+        det = flat_det[nodes]
+        b_dist = dist[det, b_col]
+        contrib = np.where(np.isfinite(b_dist), par[det, b_col], 0).astype(
+            np.uint8
+        )
+        np.bitwise_xor.at(out, sorted_syn[comp_starts[single]], contrib)
+
+    # Pair components: the pairable edge is the optimal route.
+    pairs = np.nonzero(comp_sizes == 2)[0]
+    if pairs.size:
+        first = comp_starts[pairs]
+        det_a = flat_det[sorted_nodes[first]]
+        det_b = flat_det[sorted_nodes[first + 1]]
+        np.bitwise_xor.at(
+            out, sorted_syn[first], par[det_a, det_b].astype(np.uint8)
+        )
+
+    # Mid-size components: stacked subset DP per size class.
+    for n in range(3, DP_DEFECT_LIMIT + 1):
+        comps = np.nonzero(comp_sizes == n)[0]
+        if comps.size == 0:
+            continue
+        member_idx = comp_starts[comps, None] + np.arange(n)[None, :]
+        det = flat_det[sorted_nodes[member_idx]]
+        _dp_bucket(
+            decoder, out, sorted_syn[comp_starts[comps]], det, dist, par,
+            b_col,
+        )
+
+    # Oversize components: one native blossom matching each.
+    for c in np.nonzero(comp_sizes > DP_DEFECT_LIMIT)[0]:
+        members = sorted_nodes[comp_starts[c] : comp_starts[c + 1]]
+        det = flat_det[members][None, :]
+        W, use_pair, _, P, b_dist, b_par = _gather(dist, par, b_col, det)
+        parity = decoder._blossom_match(
+            len(members), W[0], use_pair[0], P[0], b_dist[0], b_par[0]
+        )
+        out[sorted_syn[comp_starts[c]]] ^= np.uint8(parity)
+    return out

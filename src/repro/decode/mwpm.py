@@ -1,6 +1,9 @@
 """Batched, cache-accelerated matching decoders.
 
-Three methods share one front-end:
+Three methods share the :class:`repro.decode.base.Decoder` front-end
+(canonicalisation, zero-syndrome fast path, ``np.unique``
+deduplication, syndrome LRU, forked-pool sharding, packed-bitplane
+input):
 
 * ``"blossom"`` — exact minimum-weight perfect matching on the defect
   graph; small components are solved by subset DP, larger ones by the
@@ -22,17 +25,14 @@ The hot path is precomputation-heavy rather than per-shot:
   with ``use_matrices=False``) fall back to the seed's legacy
   per-source Dijkstra path, which is also what the agreement tests
   compare against.
-* decoded predictions are cached in a syndrome LRU keyed on the
-  nonzero-detector tuple — at low physical error rates a handful of
-  defect sets dominate the sample, so most shots are dictionary hits.
-* :meth:`decode_batch` handles the zero-syndrome fast path with a
-  single ``detectors.any(axis=1)`` pass and decodes only the *unique*
-  nonzero syndromes of the batch, scattering results back.
-* dense-syndrome sweeps can shard those unique syndromes across a
-  forked process pool (``workers=N`` on the constructor or on
-  :meth:`decode_batch`); each worker decodes a slice against the
-  shared copy-on-write path matrices and the parent merges the
-  results back into its syndrome cache.
+* cache-missing unique syndromes of a matrix-backed blossom batch run
+  through the vectorised component pipeline
+  (:func:`repro.decode.batch.decode_blossom_batch`): stacked matrix
+  gathers, one :func:`~scipy.sparse.csgraph.connected_components` call
+  over the block-stacked pairable graph of the whole batch, and
+  size-bucketed stacked subset DPs, with only oversize components
+  dispatched to the native blossom engine one by one.  Predictions are
+  bit-identical to the serial per-shot path.
 
 Every backend (subset DP, native blossom, legacy per-shot Dijkstra)
 optimises the identical objective, so total matching weights agree
@@ -50,11 +50,15 @@ only on tie-free predictions.
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
-
 import numpy as np
 
+from repro.decode.base import DEFAULT_CACHE_SIZE, Decoder
+from repro.decode.batch import (
+    DP_DEFECT_LIMIT,
+    DP_SCALAR_LIMIT,
+    _dp_tables,
+    decode_blossom_batch,
+)
 from repro.decode.blossom import min_weight_perfect_matching
 from repro.decode.graph import BOUNDARY, DecodingGraph
 from repro.decode.uf import UnionFindDecoder
@@ -62,94 +66,12 @@ from repro.sim.dem import DetectorErrorModel
 
 __all__ = ["MatchingDecoder"]
 
-#: Minimum number of unique syndromes per worker before decode_batch
-#: bothers forking: below this the pool start-up cost dominates.
-_MIN_SYNDROMES_PER_WORKER = 32
-
-#: Decoder a forked pool worker decodes against (inherited copy-on-write
-#: from the parent at fork time; never set in the parent's own workers).
-#: Guarded by ``_POOL_LOCK`` for the set→fork window so concurrent
-#: ``decode_batch`` calls from different threads cannot fork against
-#: the wrong decoder.
-_POOL_DECODER: "MatchingDecoder | None" = None
-_POOL_LOCK = threading.Lock()
+#: Below this many cache-missing unique syndromes the serial loop beats
+#: the vectorised pipeline's fixed setup cost.
+_VECTOR_MIN_UNIQUE = 4
 
 
-def _pool_decode(defects: tuple[int, ...]) -> int:
-    return _POOL_DECODER._decode_defects(defects)
-
-#: Default maximum number of cached syndromes per decoder.
-DEFAULT_CACHE_SIZE = 65536
-
-#: Up to this many defects the exact subset-DP matchers replace blossom:
-#: a scalar DP below ``DP_SCALAR_LIMIT``, a numpy level-batched DP with
-#: cached per-size index tables up to ``DP_DEFECT_LIMIT``.
-DP_SCALAR_LIMIT = 7
-DP_DEFECT_LIMIT = 14
-
-# Per-defect-count transition tables for the vectorised subset DP,
-# shared across decoders (built once per k, a few MB total).
-_DP_TABLES: dict[int, list] = {}
-
-
-def _dp_tables(k: int) -> list:
-    """Level-batched transition tables for the k-defect subset DP.
-
-    For every defect-subset mask, the lowest member ``i`` either pairs
-    with another member ``j``, routes to the boundary, or dangles.  All
-    masks of equal popcount ``c`` have exactly ``c + 1`` transitions,
-    so each level is three dense ``(num_masks, c + 1)`` index arrays:
-
-    * ``cost_idx`` into the flat cost vector ``[W (k²), boundary (k),
-      dangle (1)]`` (parities share the same layout),
-    * ``other_idx`` — the submask the transition recurses into,
-    * ``masks`` — the DP slots this level writes.
-
-    Transition order is pairs by ascending ``j``, then boundary, then
-    dangle, so ``argmin`` tie-breaking matches the scalar DP.
-    """
-    tables = _DP_TABLES.get(k)
-    if tables is not None:
-        return tables
-    from itertools import combinations
-
-    tables = []
-    boundary_base = k * k
-    dangle_idx = k * k + k
-    for c in range(1, k + 1):
-        masks = []
-        cost_idx = []
-        other_idx = []
-        for members in combinations(range(k), c):
-            mask = 0
-            for m in members:
-                mask |= 1 << m
-            i = members[0]
-            rest = mask ^ (1 << i)
-            row_cost = []
-            row_other = []
-            for j in members[1:]:
-                row_cost.append(i * k + j)
-                row_other.append(rest ^ (1 << j))
-            row_cost.append(boundary_base + i)
-            row_other.append(rest)
-            row_cost.append(dangle_idx)
-            row_other.append(rest)
-            masks.append(mask)
-            cost_idx.append(row_cost)
-            other_idx.append(row_other)
-        tables.append(
-            (
-                np.array(masks, dtype=np.int64),
-                np.array(cost_idx, dtype=np.int64),
-                np.array(other_idx, dtype=np.int64),
-            )
-        )
-    _DP_TABLES[k] = tables
-    return tables
-
-
-class MatchingDecoder:
+class MatchingDecoder(Decoder):
     """Decode detector samples to observable-flip predictions."""
 
     METHODS = ("blossom", "greedy", "uf")
@@ -165,204 +87,45 @@ class MatchingDecoder:
     ) -> None:
         if method not in self.METHODS:
             raise ValueError(f"method must be one of {self.METHODS}")
-        if workers is not None and workers < 1:
-            raise ValueError("workers must be a positive integer")
-        self.graph = DecodingGraph(dem)
+        super().__init__(
+            DecodingGraph(dem), cache_size=cache_size, workers=workers
+        )
         self.method = method
         if use_matrices is None:
             use_matrices = self.graph.use_matrices
         self.use_matrices = use_matrices
-        self.workers = workers
-        self.cache_size = cache_size
-        self._cache: OrderedDict[tuple[int, ...], int] | None = (
-            OrderedDict() if cache_size > 0 else None
+        # The union-find helper shares this decoder's cache, so its own
+        # is disabled.
+        self._uf = (
+            UnionFindDecoder(self.graph, cache_size=0)
+            if method == "uf"
+            else None
         )
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self._uf = UnionFindDecoder(self.graph) if method == "uf" else None
 
-    # ------------------------------------------------------------------
-    def decode(self, detector_sample: np.ndarray) -> int:
-        """Predicted observable flip (0/1) for one shot's detector bits."""
-        sample = np.asarray(detector_sample)
-        nonzero = np.nonzero(sample)[0]
-        defects = tuple(int(d) for d in nonzero if d < self.graph.num_detectors)
-        return self._decode_defects(defects)
+    # -- Decoder contract ----------------------------------------------
+    def _decode_defects(self, defects: tuple[int, ...]) -> int:
+        if self.method == "uf":
+            return self._uf._decode_defects(defects)
+        if self.use_matrices:
+            if self.method == "greedy":
+                return self._decode_greedy_matrix(defects)
+            return self._decode_blossom_matrix(defects)
+        if self.method == "greedy":
+            return self._decode_greedy_legacy(list(defects))
+        return self._decode_blossom_legacy(list(defects))
 
-    def decode_batch(
-        self,
-        detector_samples: np.ndarray,
-        *,
-        workers: int | None = None,
-    ) -> np.ndarray:
-        """Vector of predictions for a ``(shots, detectors)`` sample array.
-
-        ``workers=N`` (or the constructor default) shards the unique
-        nonzero syndromes of the batch across ``N`` forked processes;
-        see :meth:`_decode_unique_parallel`.  Serial and sharded
-        decoding produce identical predictions.
-        """
-        samples = np.asarray(detector_samples, dtype=np.uint8)
-        if samples.ndim == 1:
-            samples = samples.reshape(1, -1)
-        predictions = np.zeros(len(samples), dtype=np.uint8)
-        nonzero_rows = np.nonzero(samples.any(axis=1))[0]
-        if nonzero_rows.size == 0:
-            return predictions
-        unique, inverse = np.unique(
-            samples[nonzero_rows], axis=0, return_inverse=True
-        )
-        inverse = inverse.reshape(-1)
-        limit = self.graph.num_detectors
-        defect_sets = [
-            tuple(int(d) for d in np.nonzero(row)[0] if d < limit)
-            for row in unique
-        ]
-        if workers is None:
-            workers = self.workers
-        if workers is not None and workers > 1 and self._can_shard(
-            len(defect_sets), workers
+    def _decode_misses(self, defect_sets: list[tuple[int, ...]]) -> np.ndarray:
+        if (
+            self.method == "blossom"
+            and self.use_matrices
+            and len(defect_sets) >= _VECTOR_MIN_UNIQUE
         ):
-            unique_predictions = self._decode_unique_parallel(
-                defect_sets, workers
-            )
-        else:
-            unique_predictions = np.fromiter(
-                (self._decode_defects(d) for d in defect_sets),
-                dtype=np.uint8,
-                count=len(defect_sets),
-            )
-        predictions[nonzero_rows] = unique_predictions[inverse]
-        return predictions
+            return decode_blossom_batch(self, defect_sets)
+        return super()._decode_misses(defect_sets)
 
-    def _can_shard(self, num_unique: int, workers: int) -> bool:
-        """Whether forking a pool is worthwhile (and safe) here."""
-        import multiprocessing as mp
-        import sys
-
-        if num_unique < workers * _MIN_SYNDROMES_PER_WORKER:
-            return False
-        # macOS advertises fork but aborts forked children that touch
-        # Apple-framework state; only Linux fork is trusted here.
-        return sys.platform.startswith("linux") and (
-            "fork" in mp.get_all_start_methods()
-        )
-
-    def _decode_unique_parallel(
-        self, defect_sets: list[tuple[int, ...]], workers: int
-    ) -> np.ndarray:
-        """Shard unique-syndrome decoding across a forked process pool.
-
-        The decoder (path matrices included) is inherited by each
-        worker copy-on-write at fork time, so nothing large is pickled;
-        only the defect tuples and the uint8 results cross the pipe.
-        Cache hits are resolved in the parent first, and the parent's
-        syndrome LRU absorbs the workers' results afterwards, so a
-        sharded batch warms the cache exactly like a serial one.
-
-        Caveat: on ``use_matrices=False`` decoders (graphs above
-        ``MATRIX_NODE_LIMIT``) there are no matrices to pre-share, so
-        each worker rebuilds per-source Dijkstra caches for its own
-        chunk and discards them with the pool — results stay correct
-        but duplicated path work erodes the speed-up there.
-        """
-        import multiprocessing as mp
-
+    def _prepare_fork(self) -> None:
         if self.use_matrices:
             self.graph.ensure_matrices()  # build once, before forking
-        cache = self._cache
-        out = np.zeros(len(defect_sets), dtype=np.uint8)
-        misses: list[int] = []
-        if cache is not None:
-            for i, defects in enumerate(defect_sets):
-                cached = cache.get(defects)
-                if cached is not None:
-                    cache.move_to_end(defects)
-                    self.cache_hits += 1
-                    out[i] = cached
-                else:
-                    misses.append(i)
-        else:
-            misses = list(range(len(defect_sets)))
-        if len(misses) < workers * _MIN_SYNDROMES_PER_WORKER:
-            # A warm cache can shrink a shard-worthy batch to a handful
-            # of misses; forking a pool for those loses to the serial
-            # loop, so the floor is re-checked on the actual work.
-            for i in misses:
-                out[i] = self._decode_defects(defect_sets[i])
-            return out
-        global _POOL_DECODER
-        ctx = mp.get_context("fork")
-        chunk = max(1, len(misses) // (workers * 8))
-        # The lock spans the pool's whole lifetime: initial workers fork
-        # with this decoder, and so does any replacement the pool
-        # respawns after an abnormal worker death.  Concurrent sharded
-        # batches from other threads serialise here — overlapping
-        # process pools would only fight for the same cores.
-        with _POOL_LOCK:
-            _POOL_DECODER = self
-            try:
-                with ctx.Pool(workers) as pool:
-                    results = pool.map(
-                        _pool_decode,
-                        [defect_sets[i] for i in misses],
-                        chunksize=chunk,
-                    )
-            finally:
-                _POOL_DECODER = None
-        for i, result in zip(misses, results):
-            out[i] = result
-            if cache is not None:
-                self.cache_misses += 1
-                cache[defect_sets[i]] = int(result)
-                if len(cache) > self.cache_size:
-                    cache.popitem(last=False)
-        return out
-
-    def logical_error_rate(
-        self, detector_samples: np.ndarray, observable_samples: np.ndarray
-    ) -> float:
-        """Fraction of shots where the prediction misses the actual flip.
-
-        An empty batch has no misses: zero shots return 0.0 instead of
-        propagating a ``mean of empty slice`` NaN.
-        """
-        predictions = self.decode_batch(detector_samples)
-        if len(predictions) == 0:
-            return 0.0
-        actual = np.asarray(observable_samples).reshape(len(predictions), -1)
-        actual = (actual.sum(axis=1) % 2).astype(np.uint8)
-        return float((predictions != actual).mean())
-
-    # -- syndrome cache ------------------------------------------------
-    def _decode_defects(self, defects: tuple[int, ...]) -> int:
-        if not defects:
-            return 0
-        cache = self._cache
-        if cache is not None:
-            cached = cache.get(defects)
-            if cached is not None:
-                cache.move_to_end(defects)
-                self.cache_hits += 1
-                return cached
-            self.cache_misses += 1
-        if self.method == "uf":
-            result = self._uf.decode(defects)
-        elif self.use_matrices:
-            if self.method == "greedy":
-                result = self._decode_greedy_matrix(defects)
-            else:
-                result = self._decode_blossom_matrix(defects)
-        else:
-            if self.method == "greedy":
-                result = self._decode_greedy_legacy(list(defects))
-            else:
-                result = self._decode_blossom_legacy(list(defects))
-        if cache is not None:
-            cache[defects] = result
-            if len(cache) > self.cache_size:
-                cache.popitem(last=False)
-        return result
 
     # -- matrix-backed decoding ----------------------------------------
     def _lookup(self, defects: tuple[int, ...]):
@@ -400,7 +163,8 @@ class MatchingDecoder:
         subset-DP matcher; larger ones go to the native blossom engine
         (:mod:`repro.decode.blossom`).  Equal-weight ties between the
         pair route and the two-boundary route resolve to the pair
-        route.
+        route.  The vectorised pipeline in :mod:`repro.decode.batch`
+        runs this same algorithm over many syndromes at once.
         """
         D, P, b_dist, b_par = self._lookup(defects)
         k = len(defects)
@@ -617,8 +381,9 @@ class MatchingDecoder:
         Same recurrence and tie-breaking as :meth:`_dp_match`, but all
         masks of equal popcount are processed as one numpy gather +
         ``argmin``, using the shared per-``k`` transition tables from
-        :func:`_dp_tables`.  Extends exact matching to mid-size
-        components where both the scalar DP and blossom are slow.
+        :func:`repro.decode.batch._dp_tables`.  Extends exact matching
+        to mid-size components where both the scalar DP and blossom are
+        slow.
         """
         route_par = np.where(use_pair, P, b_par[:, None] ^ b_par[None, :])
         finite_w = np.isfinite(W)

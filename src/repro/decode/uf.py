@@ -21,15 +21,19 @@ variant of Delfosse–Nickerson, which closes most of the accuracy gap to
 MWPM).  Defects on detectors disconnected from the rest of the graph
 are dropped, matching the matching decoder's behaviour.
 
-The decoder is stateless across shots apart from the immutable
-adjacency arrays, so one instance is shared by all cached-syndrome
-lookups in :class:`repro.decode.MatchingDecoder`.
+The matching machinery is stateless across shots apart from the
+immutable adjacency arrays, so one instance both serves as a
+standalone decoder (it inherits the full batched
+:class:`repro.decode.base.Decoder` front-end — syndrome LRU,
+deduplication, packed input, sharding) and backs all cached-syndrome
+lookups in :class:`repro.decode.MatchingDecoder` with ``method="uf"``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.decode.base import DEFAULT_CACHE_SIZE, Decoder
 from repro.decode.graph import DecodingGraph
 
 __all__ = ["UnionFindDecoder"]
@@ -37,11 +41,17 @@ __all__ = ["UnionFindDecoder"]
 _SLACK_EPS = 1e-9
 
 
-class UnionFindDecoder:
+class UnionFindDecoder(Decoder):
     """Union-find decoding over a :class:`DecodingGraph`."""
 
-    def __init__(self, graph: DecodingGraph) -> None:
-        self.num_detectors = graph.num_detectors
+    def __init__(
+        self,
+        graph: DecodingGraph,
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        workers: int | None = None,
+    ) -> None:
+        super().__init__(graph, cache_size=cache_size, workers=workers)
         self.boundary = graph.boundary_index
         self.num_nodes = graph.num_detectors + 1
         us, vs = graph.edge_endpoints
@@ -56,7 +66,7 @@ class UnionFindDecoder:
         self.adjacency = adjacency
 
     # ------------------------------------------------------------------
-    def decode(self, defects: tuple[int, ...]) -> int:
+    def _decode_defects(self, defects: tuple[int, ...]) -> int:
         """Predicted observable flip (0/1) for one defect set."""
         if not defects:
             return 0

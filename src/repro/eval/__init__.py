@@ -8,7 +8,12 @@ from repro.eval.montecarlo import (
 from repro.eval.lambda_model import LambdaModel, calibrate_lambda_model
 from repro.eval.retry import retry_risk
 from repro.eval.yieldrate import yield_rate
-from repro.eval.throughput import ThroughputResult, throughput_experiment
+from repro.eval.throughput import (
+    DecodeThroughputResult,
+    ThroughputResult,
+    decoding_throughput,
+    throughput_experiment,
+)
 from repro.eval.endtoend import EndToEndResult, evaluate_program
 
 __all__ = [
@@ -21,6 +26,8 @@ __all__ = [
     "yield_rate",
     "ThroughputResult",
     "throughput_experiment",
+    "DecodeThroughputResult",
+    "decoding_throughput",
     "EndToEndResult",
     "evaluate_program",
 ]

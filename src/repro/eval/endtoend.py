@@ -26,7 +26,7 @@ from repro.baselines.methods import METHODS, MethodModel
 from repro.compiler import Program
 from repro.defects import CosmicRayModel
 from repro.defects.models import CYCLE_TIME_S
-from repro.eval.lambda_model import LambdaModel
+from repro.eval.lambda_model import LambdaModel, calibrate_lambda_model
 from repro.layout.generator import LayoutGenerator
 from repro.surgery import estimate_schedule
 
@@ -68,7 +68,8 @@ def evaluate_program(
     method: str | MethodModel,
     d: int,
     *,
-    lambda_model: LambdaModel | None = None,
+    lambda_model: LambdaModel | str | None = None,
+    calibration: dict | None = None,
     defect_model: CosmicRayModel | None = None,
     layout_generator: LayoutGenerator | None = None,
     runtime_budget_factor: float = 2.0,
@@ -81,9 +82,26 @@ def evaluate_program(
     stretching the schedule; past this factor the defect-event rate per
     run compounds faster than progress).  ``mean_path_cells`` is the
     average number of patches a long-range CNOT's ancilla path borders.
+
+    ``lambda_model`` takes a ready :class:`LambdaModel`, ``None`` for
+    the repository's committed constants, or the string
+    ``"calibrated"`` to re-measure Λ on the spot with
+    :func:`~repro.eval.lambda_model.calibrate_lambda_model` — a direct
+    Monte-Carlo run through the streamed batch-decoding pipeline;
+    ``calibration`` forwards keyword arguments (``shots``,
+    ``distances``, ``chunk_shots``, ...) to it.
     """
     model = METHODS[method] if isinstance(method, str) else method
-    lam = lambda_model or LambdaModel()
+    if isinstance(lambda_model, str):
+        if lambda_model != "calibrated":
+            raise ValueError(
+                "lambda_model must be a LambdaModel, None, or 'calibrated'"
+            )
+        lam = calibrate_lambda_model(**(calibration or {}))
+    else:
+        if calibration is not None:
+            raise ValueError("calibration only applies with 'calibrated'")
+        lam = lambda_model or LambdaModel()
     defects = defect_model or CosmicRayModel()
     gen = layout_generator or LayoutGenerator(lam, defects)
 

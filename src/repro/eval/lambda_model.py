@@ -64,6 +64,7 @@ def calibrate_lambda_model(
     distances: tuple[int, ...] = (3, 5),
     shots: int = 50_000,
     seed: int = 7,
+    chunk_shots: int | None = 65_536,
 ) -> LambdaModel:
     """Fit ``A`` and ``Λ`` from Monte-Carlo at small distances.
 
@@ -71,6 +72,9 @@ def calibrate_lambda_model(
     the two-point fit ``log p = log A − ((d+1)/2) log Λ`` (least squares
     when more than two distances are given).  X-memory behaves
     identically by symmetry, and the combined rate doubles ``A``.
+    The experiments stream through the packed batch pipeline in
+    ``chunk_shots`` chunks, so calibration at millions of shots runs in
+    bounded memory.
     """
     from repro.eval.montecarlo import memory_experiment
     from repro.surface import rotated_surface_code
@@ -85,6 +89,7 @@ def calibrate_lambda_model(
             rounds=d,
             shots=shots,
             seed=seed,
+            chunk_shots=chunk_shots,
         )
         rate = max(result.per_round, 0.25 / shots)  # avoid log(0)
         points.append(((d + 1) / 2.0, math.log(rate)))

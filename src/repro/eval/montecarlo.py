@@ -18,6 +18,13 @@ and the decoding graph precomputes all-pairs path matrices — so
 in a bounded cache.  Sweeps that revisit the same configuration (the
 Z/X bases of :func:`logical_error_rate`, repeated calls while scanning
 shots or defect samples) pay for DEM + graph construction once.
+
+Samples flow packed end to end: the sampler hands
+:class:`~repro.utils.gf2.PackedBits` detector bitplanes straight to
+``decode_batch`` (never materialising a ``(shots, detectors)`` uint8
+array), and ``chunk_shots`` streams a large experiment through the
+pipeline in bounded-memory chunks — each chunk sampled from an
+independent child seed — so 10^6-shot sweeps run in a few tens of MB.
 """
 
 from __future__ import annotations
@@ -139,6 +146,29 @@ class MemoryResult:
         return (1 - (1 - 2 * p) ** (1.0 / self.rounds)) / 2
 
 
+def _chunk_plan(
+    shots: int, chunk_shots: int | None, seed: int | None
+) -> list[tuple[int | None, int]]:
+    """``(seed, shots)`` per streaming chunk.
+
+    A single chunk passes ``seed`` through untouched (so unchunked
+    results are unchanged by the streaming refactor); multiple chunks
+    sample independent child streams spawned from ``seed``.
+    """
+    if chunk_shots is None or chunk_shots >= shots or chunk_shots < 1:
+        return [(seed, shots)]
+    sizes = [chunk_shots] * (shots // chunk_shots)
+    if shots % chunk_shots:
+        sizes.append(shots % chunk_shots)
+    if seed is None:
+        return [(None, n) for n in sizes]
+    children = np.random.SeedSequence(seed).spawn(len(sizes))
+    return [
+        (int(child.generate_state(1)[0]), n)
+        for child, n in zip(children, sizes)
+    ]
+
+
 def memory_experiment(
     code: SubsystemCode,
     basis: str,
@@ -147,6 +177,7 @@ def memory_experiment(
     rounds: int | None = None,
     shots: int = 2000,
     seed: int | None = None,
+    chunk_shots: int | None = None,
     defective_data: set | None = None,
     defective_ancillas: set | None = None,
     decoder_method: str = "blossom",
@@ -166,6 +197,12 @@ def memory_experiment(
     d ≥ 7 sweeps then scale with cores.  It only affects scheduling,
     never predictions, so it is deliberately *not* part of the decoder
     cache key — memoised decoders are reused across worker settings.
+
+    ``chunk_shots=N`` streams the experiment in bounded-memory chunks
+    of at most ``N`` shots, each sampled from an independent child
+    stream of ``seed``; the syndrome LRU carries across chunks, so the
+    total decode work matches the one-batch run.  Chunked and unchunked
+    runs of the same seed draw different (equally valid) samples.
     """
     if rounds is None:
         rounds = max(3, min(code.n, 25))
@@ -195,10 +232,16 @@ def memory_experiment(
         decoder_method,
         circuit=decoder_circuit,
     )
-    detectors, observables = sample_detectors(circuit, shots, seed=seed)
-    predictions = decoder.decode_batch(detectors, workers=decoder_workers)
-    actual = (observables.sum(axis=1) % 2).astype(predictions.dtype)
-    errors = int((predictions != actual).sum())
+    errors = 0
+    for chunk_seed, chunk in _chunk_plan(shots, chunk_shots, seed):
+        detectors, observables = sample_detectors(
+            circuit, chunk, seed=chunk_seed, packed_output=True
+        )
+        predictions = decoder.decode_batch(
+            detectors, workers=decoder_workers
+        )
+        actual = observables.column_parity()
+        errors += int((predictions != actual).sum())
     return MemoryResult(
         basis=basis,
         rounds=rounds,
@@ -215,6 +258,7 @@ def logical_error_rate(
     rounds: int | None = None,
     shots: int = 2000,
     seed: int | None = None,
+    chunk_shots: int | None = None,
     defective_data: set | None = None,
     defective_ancillas: set | None = None,
     decoder_method: str = "blossom",
@@ -246,6 +290,7 @@ def logical_error_rate(
             rounds=rounds,
             shots=shots,
             seed=basis_seeds[basis],
+            chunk_shots=chunk_shots,
             defective_data=defective_data,
             defective_ancillas=defective_ancillas,
             decoder_method=decoder_method,

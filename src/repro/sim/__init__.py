@@ -10,12 +10,14 @@ from repro.sim.frame import FrameSampler, sample_detectors
 from repro.sim.dem import DetectorErrorModel, ErrorMechanism, build_dem
 from repro.sim.noise import NoiseModel
 from repro.sim.syndrome import memory_circuit
+from repro.utils.gf2 import PackedBits
 
 __all__ = [
     "Circuit",
     "GateTarget",
     "FrameSampler",
     "sample_detectors",
+    "PackedBits",
     "DetectorErrorModel",
     "ErrorMechanism",
     "build_dem",

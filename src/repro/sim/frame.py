@@ -43,7 +43,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sim.circuit import Circuit, CompiledCircuit, Instruction
-from repro.utils.gf2 import gf2_pack, gf2_unpack, gf2_xor_csr
+from repro.utils.gf2 import PackedBits, gf2_pack, gf2_unpack, gf2_xor_csr
 
 __all__ = [
     "FrameSampler",
@@ -344,6 +344,38 @@ class FrameSampler:
             return _unpack_results(det, obs, shots)
         return self._sample_unpacked(shots, masks=None)
 
+    def sample_packed(self, shots: int) -> tuple[PackedBits, PackedBits]:
+        """Sample ``shots`` runs without unpacking the result.
+
+        Returns ``(detectors, observables)`` as
+        :class:`~repro.utils.gf2.PackedBits` bitplanes — one row per
+        detector/observable, one bit per shot — the format
+        ``Decoder.decode_batch`` consumes directly, so a
+        ``(shots, detectors)`` uint8 array is never materialised.
+        The random stream is shared with :meth:`sample`: at equal
+        sampler state the two return the same bits, packed vs not.
+
+        A ``packed=False`` sampler runs the unpacked reference engine
+        and packs its output, so both engines expose the same streaming
+        interface (the property tests rely on this).
+        """
+        c = self.circuit
+        if self.packed:
+            engine = _PackedEngine(c.compiled(), shots)
+            det, obs = engine.run(rng=self._rng)
+        else:
+            det_rows, obs_rows = self._sample_unpacked(shots, masks=None)
+            det = gf2_pack(det_rows.T) if shots else np.zeros(
+                (c.num_detectors, 0), dtype=np.uint64
+            )
+            obs = gf2_pack(obs_rows.T) if shots else np.zeros(
+                (c.num_observables, 0), dtype=np.uint64
+            )
+        return (
+            PackedBits(det, shots),
+            PackedBits(obs, shots),
+        )
+
     def draw_masks(self, shots: int) -> dict[int, np.ndarray]:
         """Pre-draw every noise channel's outcome for ``shots`` runs.
 
@@ -553,7 +585,22 @@ def propagate_injections_packed(
 
 
 def sample_detectors(
-    circuit: Circuit, shots: int, *, seed: int | None = None, packed: bool = True
-) -> tuple[np.ndarray, np.ndarray]:
-    """One-call convenience wrapper around :class:`FrameSampler`."""
-    return FrameSampler(circuit, seed=seed, packed=packed).sample(shots)
+    circuit: Circuit,
+    shots: int,
+    *,
+    seed: int | None = None,
+    packed: bool = True,
+    packed_output: bool = False,
+) -> tuple[np.ndarray, np.ndarray] | tuple[PackedBits, PackedBits]:
+    """One-call convenience wrapper around :class:`FrameSampler`.
+
+    ``packed`` selects the propagation engine; ``packed_output=True``
+    returns the samples as :class:`~repro.utils.gf2.PackedBits`
+    detector/observable bitplanes (see :meth:`FrameSampler.
+    sample_packed`) instead of ``(shots, n)`` uint8 arrays.  The same
+    ``seed`` yields the same bits either way.
+    """
+    sampler = FrameSampler(circuit, seed=seed, packed=packed)
+    if packed_output:
+        return sampler.sample_packed(shots)
+    return sampler.sample(shots)

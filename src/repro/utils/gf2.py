@@ -18,6 +18,8 @@ that compare both backends on random matrices.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 __all__ = [
@@ -31,6 +33,7 @@ __all__ = [
     "gf2_pack",
     "gf2_unpack",
     "gf2_xor_csr",
+    "PackedBits",
 ]
 
 #: Matrices at least this many columns wide use the packed backend.
@@ -58,6 +61,68 @@ def gf2_unpack(packed: np.ndarray, num_cols: int) -> np.ndarray:
     """Inverse of :func:`gf2_pack` (truncated back to ``num_cols``)."""
     as_bytes = np.ascontiguousarray(packed).view(np.uint8)
     return np.unpackbits(as_bytes, axis=1, bitorder="little")[:, :num_cols]
+
+
+@dataclass(frozen=True)
+class PackedBits:
+    """A ``(num_rows, num_bits)`` bit matrix packed along axis 1.
+
+    ``words`` has shape ``(num_rows, ceil(num_bits / 64))`` and dtype
+    ``uint64`` in the :func:`gf2_pack` little-endian layout; bits past
+    ``num_bits`` in the last word are zero.  This is the wire format of
+    the packed sampler→decoder flow: the frame engine emits detector
+    samples as one row per *detector* with one bit per *shot*, and
+    ``Decoder.decode_batch`` consumes that object directly — per-shot
+    syndrome rows only ever materialise bit-packed (via
+    :meth:`transpose`), never as a ``(shots, detectors)`` uint8 array.
+    """
+
+    words: np.ndarray
+    num_bits: int
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.words.shape[0])
+
+    @classmethod
+    def pack(cls, matrix: np.ndarray) -> "PackedBits":
+        """Pack a 0/1 ``(rows, bits)`` array (rows stay rows)."""
+        a = _as_gf2(matrix)
+        return cls(gf2_pack(a), a.shape[1])
+
+    def unpack(self) -> np.ndarray:
+        """Back to a ``(num_rows, num_bits)`` uint8 array."""
+        if self.num_rows == 0 or self.num_bits == 0:
+            return np.zeros((self.num_rows, self.num_bits), dtype=np.uint8)
+        return gf2_unpack(self.words, self.num_bits)
+
+    def transpose(self, block: int = 4096) -> "PackedBits":
+        """The packed transpose, built in bounded ``block``-bit slices.
+
+        Word-aligned column blocks are unpacked to ``(rows, block)``
+        uint8 and re-packed row-major, so peak intermediate memory is
+        ``num_rows × block`` bytes regardless of ``num_bits``.
+        """
+        block = max(64, (block // 64) * 64)
+        out = np.zeros(
+            (self.num_bits, (self.num_rows + 63) // 64), dtype=np.uint64
+        )
+        if self.num_rows == 0:
+            return PackedBits(out, self.num_rows)
+        for start in range(0, self.num_bits, block):
+            stop = min(start + block, self.num_bits)
+            bits = gf2_unpack(
+                self.words[:, start // 64 : (stop + 63) // 64], stop - start
+            )
+            out[start:stop] = gf2_pack(bits.T)
+        return PackedBits(out, self.num_rows)
+
+    def column_parity(self) -> np.ndarray:
+        """XOR over rows, per bit column: a ``(num_bits,)`` uint8 vector."""
+        if self.num_rows == 0:
+            return np.zeros(self.num_bits, dtype=np.uint8)
+        folded = np.bitwise_xor.reduce(self.words, axis=0, keepdims=True)
+        return gf2_unpack(folded, self.num_bits)[0]
 
 
 def gf2_xor_csr(

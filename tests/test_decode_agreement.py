@@ -490,9 +490,9 @@ class TestSeedDerivation:
         seen = []
         real = mc.sample_detectors
 
-        def recording(circuit, shots, *, seed=None):
+        def recording(circuit, shots, *, seed=None, **kwargs):
             seen.append(seed)
-            return real(circuit, shots, seed=seed)
+            return real(circuit, shots, seed=seed, **kwargs)
 
         monkeypatch.setattr(mc, "sample_detectors", recording)
         patch = rotated_surface_code(3)
