@@ -25,24 +25,34 @@ Run with ``PYTHONPATH=src python benchmarks/perf_report.py``; optional
 ``--distances 3,5,7,9`` and ``--benchmarks build,sample,decode`` filter
 the (expensive) grid for quick reruns, ``--workers N`` adds a sharded
 ``blossom`` decode record (the ``decode_batch(workers=N)`` process
-pool), and ``--out BENCH_decode.json`` redirects the output.
-``--smoke`` is the CI tripwire: d = 3 decode only with a small shot
+pool), and ``--out BENCH_decode.json`` redirects the output.  Unknown
+or empty ``--benchmarks``/``--distances`` selections are rejected up
+front (exit 2) instead of silently writing an empty report.
+``--smoke`` is the CI gate: a d = 3 decode tripwire with a small shot
 plan, written to ``BENCH_decode.smoke.json`` so the committed report
 is untouched, exiting nonzero if matrix blossom falls below
-``SMOKE_MIN_SPEEDUP``× the legacy path.
+``SMOKE_MIN_SPEEDUP``× the legacy path — plus the matching-engine
+gate, a d = 7, p = 3e-3 slice whose large (>
+:data:`~repro.decode.sparse_match.SPARSE_MIN_DEFECTS`-defect)
+components are matched by both engines, exiting nonzero if the sparse
+region-growing matcher is slower than the dense blossom there
+(``match_smoke`` records, matchings/sec).
 
 ``BENCH_decode.json`` record schema — every record carries::
 
-    {"benchmark":      "build" | "dem_build" | "sample" | "decode",
+    {"benchmark":      "build" | "dem_build" | "sample" | "decode"
+                       | "match_smoke",
      "distance":       3 | 5 | 7 | 9,
      "method":         benchmark-specific label (decode: "blossom",
-                       "uf", "greedy", "blossom_legacy"),
+                       "uf", "greedy", "blossom_legacy"; match_smoke:
+                       "sparse", "dense"),
      "shots_per_sec":  the throughput figure (builds/sec for build
-                       benchmarks)}
+                       benchmarks, matchings/sec for match_smoke)}
 
 plus benchmark-specific bookkeeping: ``rounds`` (all), ``seconds``
 (build/dem_build), ``mechanism_count`` (dem_build), ``shots`` (sample/
-decode), and for decode records ``reps`` (cold-cache repetitions) and
+decode), ``components``/``mean_defects``/``noise_p`` (match_smoke),
+and for decode records ``reps`` (cold-cache repetitions) and
 ``workers`` — the process-pool width used by ``decode_batch``; ``1``
 means the serial path, larger values are the sharded path and appear
 only when ``--workers`` is given.  Every record also carries a
@@ -67,6 +77,11 @@ import numpy as np  # noqa: E402
 import scipy  # noqa: E402
 
 from repro.decode import MatchingDecoder  # noqa: E402
+from repro.decode.batch import _gather  # noqa: E402
+from repro.decode.sparse_match import (  # noqa: E402
+    SPARSE_MIN_DEFECTS,
+    sparse_match_parity,
+)
 from repro.sim import NoiseModel, build_dem, memory_circuit, sample_detectors  # noqa: E402
 from repro.surface import rotated_surface_code  # noqa: E402
 
@@ -84,6 +99,16 @@ SHOT_PLAN = {3: (8000, 2000), 5: (4000, 600), 7: (3000, 300), 9: (2000, 120)}
 #: the run exits nonzero (the CI perf tripwire).
 SMOKE_SHOT_PLAN = {3: (2000, 500)}
 SMOKE_MIN_SPEEDUP = 2.0
+
+#: Matching-engine smoke gate: the large defect components of this
+#: d = 7, p = 3e-3 slice are matched by the sparse region-growing
+#: engine and the dense blossom; the build fails if sparse throughput
+#: drops below ``MATCH_SMOKE_MIN_RATIO``× dense (it is ~2× faster on
+#: healthy builds).
+MATCH_SMOKE_DISTANCE = 7
+MATCH_SMOKE_P = 3e-3
+MATCH_SMOKE_SHOTS = 120
+MATCH_SMOKE_MIN_RATIO = 1.0
 
 
 def _rate(count: int, seconds: float) -> float:
@@ -226,6 +251,121 @@ def profile_distance(
     return records
 
 
+def _oversize_components(decoder, detectors):
+    """Route arrays of every component past the sparse threshold.
+
+    The same gather + pairable-graph BFS the serial decode path runs,
+    kept here so the smoke gate times the matching engines alone —
+    no caching, deduplication or DP buckets in the timed region.
+    """
+    dist, par = decoder.graph.ensure_matrices()
+    b_col = decoder.graph.boundary_index
+    comps = []
+    for row in detectors:
+        defects = np.nonzero(row)[0]
+        defects = defects[defects < decoder.graph.num_detectors]
+        if len(defects) < SPARSE_MIN_DEFECTS:
+            continue
+        det = defects[None, :]
+        W, use_pair, pairable, P, b_dist, b_par = _gather(
+            dist, par, b_col, det
+        )
+        k = len(defects)
+        unassigned = np.ones(k, dtype=bool)
+        for start in range(k):
+            if not unassigned[start]:
+                continue
+            members = np.zeros(k, dtype=bool)
+            members[start] = True
+            frontier = members
+            while frontier.any():
+                reached = pairable[0][frontier].any(axis=0) & ~members
+                members |= reached
+                frontier = reached
+            unassigned &= ~members
+            comp = np.nonzero(members)[0]
+            if len(comp) < SPARSE_MIN_DEFECTS:
+                continue
+            sub = np.ix_(comp, comp)
+            comps.append(
+                (
+                    len(comp),
+                    W[0][sub].copy(),
+                    use_pair[0][sub].copy(),
+                    P[0][sub].copy(),
+                    b_dist[0][comp].copy(),
+                    b_par[0][comp].copy(),
+                )
+            )
+    return comps
+
+
+def match_engine_smoke() -> tuple[list[dict], bool]:
+    """The matching-engine gate: sparse vs dense on large components.
+
+    Samples the d = 7, p = 3e-3 slice — where almost every shot is one
+    big defect component — extracts every component past the sparse
+    threshold, and times both engines on the identical component list
+    (best of ``DECODE_REPS``, matchings/sec).  Returns the records and
+    whether the sparse engine met :data:`MATCH_SMOKE_MIN_RATIO`.
+    """
+    patch = rotated_surface_code(MATCH_SMOKE_DISTANCE)
+    circuit = memory_circuit(
+        patch.code, "Z", ROUNDS, NoiseModel.uniform(MATCH_SMOKE_P)
+    )
+    dem = build_dem(circuit)
+    decoder = MatchingDecoder(dem)
+    detectors, _ = sample_detectors(circuit, MATCH_SMOKE_SHOTS, seed=5)
+    comps = _oversize_components(decoder, detectors)
+    if not comps:
+        # A gate that measures nothing must not pass: at this slice's
+        # noise level oversize components are the common case, so an
+        # empty list means the sampler, threshold or shot plan changed
+        # under the gate's feet.
+        print(
+            f"smoke: d={MATCH_SMOKE_DISTANCE} p={MATCH_SMOKE_P} produced "
+            "no large components — matching-engine gate FAIL"
+        )
+        return [], False
+    engines = {
+        "sparse": sparse_match_parity,
+        "dense": MatchingDecoder._blossom_match,
+    }
+    records: list[dict] = []
+    rates: dict[str, float] = {}
+    for name, run in engines.items():
+        seconds = float("inf")
+        for _ in range(DECODE_REPS):
+            t0 = time.perf_counter()
+            for k, W, use_pair, P, b_dist, b_par in comps:
+                run(k, W, use_pair, P, b_dist, b_par)
+            seconds = min(seconds, time.perf_counter() - t0)
+        rates[name] = _rate(len(comps), seconds)
+        records.append(
+            {
+                "benchmark": "match_smoke",
+                "distance": MATCH_SMOKE_DISTANCE,
+                "method": name,
+                "shots_per_sec": rates[name],
+                "components": len(comps),
+                "mean_defects": float(np.mean([c[0] for c in comps])),
+                "noise_p": MATCH_SMOKE_P,
+                "rounds": ROUNDS,
+                "reps": DECODE_REPS,
+            }
+        )
+    ratio = (
+        rates["sparse"] / rates["dense"] if rates["dense"] else float("inf")
+    )
+    ok = ratio >= MATCH_SMOKE_MIN_RATIO
+    print(
+        f"smoke: d={MATCH_SMOKE_DISTANCE} p={MATCH_SMOKE_P} sparse matcher "
+        f"{ratio:.2f}x dense on {len(comps)} large components "
+        f"({'PASS' if ok else 'FAIL'}, floor {MATCH_SMOKE_MIN_RATIO}x)"
+    )
+    return records, ok
+
+
 def _decode_label(record: dict) -> str:
     """Display/lookup label for a decode record (sharded runs tagged)."""
     if record.get("workers", 1) > 1:
@@ -256,13 +396,39 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default=None)
     args = parser.parse_args(argv)
     repo_root = Path(__file__).resolve().parent.parent
+    # Validate the selections up front, in every mode: an unknown or
+    # empty --benchmarks/--distances used to slip through (--smoke
+    # ignored the names entirely) and silently write a report with
+    # nothing in it.
+    requested = {b.strip() for b in args.benchmarks.split(",") if b.strip()}
+    unknown = requested - set(BENCHMARKS)
+    if unknown:
+        parser.error(
+            f"unknown benchmarks: {sorted(unknown)} "
+            f"(choose from {', '.join(BENCHMARKS)})"
+        )
+    if not requested:
+        parser.error(
+            "--benchmarks selected nothing; choose from "
+            f"{', '.join(BENCHMARKS)}"
+        )
+    try:
+        requested_distances = [
+            int(d) for d in args.distances.split(",") if d.strip()
+        ]
+    except ValueError:
+        parser.error(
+            "--distances must be comma-separated integers, got "
+            f"{args.distances!r}"
+        )
+    if not requested_distances:
+        parser.error("--distances selected nothing")
     if args.smoke:
-        # Smoke is a fixed d=3 decode gate; reject flag combinations it
-        # would silently ignore rather than let a user think another
-        # grid was gated.
+        # Smoke is a fixed gate (d=3 decode tripwire + d=7 matching
+        # engines); reject flag combinations it would silently ignore
+        # rather than let a user think another grid was gated.
         if args.distances != "3,5,7,9":
             parser.error("--smoke always profiles d=3; drop --distances")
-        requested = {b.strip() for b in args.benchmarks.split(",") if b.strip()}
         if "decode" not in requested:
             parser.error("--smoke gates the decode benchmark; drop --benchmarks")
         distances = [3]
@@ -270,15 +436,10 @@ def main(argv: list[str] | None = None) -> int:
         shot_plan = SMOKE_SHOT_PLAN
         default_out = repo_root / "BENCH_decode.smoke.json"
     else:
-        distances = [int(d) for d in args.distances.split(",") if d]
-        benchmarks = {
-            b.strip() for b in args.benchmarks.split(",") if b.strip()
-        }
+        distances = requested_distances
+        benchmarks = requested
         shot_plan = None
         default_out = repo_root / "BENCH_decode.json"
-    unknown = benchmarks - set(BENCHMARKS)
-    if unknown:
-        parser.error(f"unknown benchmarks: {sorted(unknown)}")
     out_path = Path(args.out if args.out is not None else default_out)
 
     machine = _machine_metadata()
@@ -303,12 +464,17 @@ def main(argv: list[str] | None = None) -> int:
         for method, rate in by_method.items():
             rel = rate / legacy if legacy else float("nan")
             print(f"  decode/{method:<15} {rate:>10.1f} shots/s  ({rel:5.1f}x legacy)")
+    status = 0
+    if args.smoke:
+        match_records, match_ok = match_engine_smoke()
+        all_records.extend(match_records)
+        if not match_ok:
+            status = 1
     for record in all_records:
         record["machine"] = machine
     out_path.write_text(json.dumps(all_records, indent=2) + "\n")
     print(f"wrote {out_path} ({len(all_records)} records)")
 
-    status = 0
     if args.smoke:
         rates = {
             _decode_label(r): r["shots_per_sec"]

@@ -12,7 +12,6 @@ vectorised exact matcher.
 
 import time
 
-import numpy as np
 import pytest
 
 from conftest import scaled

@@ -25,7 +25,7 @@ def main() -> None:
     framework = SurfDeformer()
     plan = framework.plan(program, target_risk=0.01)
     spec = plan.spec
-    print(f"\nlayout generator output:")
+    print("\nlayout generator output:")
     print(f"  code distance d     = {spec.d}")
     print(f"  extra inter-space Δd = {spec.delta_d} "
           f"(channel-block probability {spec.p_block:.4f})")

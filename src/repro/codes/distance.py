@@ -123,7 +123,7 @@ def detection_graph(code: SubsystemCode, logical_basis: str) -> nx.MultiGraph:
             # qubits by the deformation layer.
             if crossing:
                 raise ValueError(
-                    f"logical representative passes through undetected "
+                    "logical representative passes through undetected "
                     f"qubit {q}; reroute the logical before computing "
                     "distance"
                 )

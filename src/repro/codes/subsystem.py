@@ -16,7 +16,7 @@ measurements (e.g. super-stabilizers).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Optional
 
 import numpy as np

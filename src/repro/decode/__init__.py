@@ -9,9 +9,12 @@ syndrome deduplication, a syndrome LRU, and forked-pool sharding
 vectorised component pipeline (:mod:`repro.decode.batch`): stacked
 all-pairs lookups, one ``connected_components`` call over the whole
 batch, and size-bucketed stacked subset DPs.  Matching runs on the
-package's own primal–dual blossom engine
-(:mod:`repro.decode.blossom`); no external graph library is imported
-anywhere under ``repro.decode``.
+package's own primal–dual blossom engine behind the
+``MatchingDecoder(matcher=...)`` dispatch — large components grow
+match regions on sparse candidate edges
+(:mod:`repro.decode.sparse_match`, the default) with the dense
+complete-graph path (:mod:`repro.decode.blossom`) kept as the oracle;
+no external graph library is imported anywhere under ``repro.decode``.
 """
 
 from repro.decode.base import Decoder

@@ -277,7 +277,6 @@ class Decoder:
         correct but the speed-up erodes there.
         """
         self._prepare_fork()
-        cache = self._cache
         out = np.zeros(len(defect_sets), dtype=np.uint8)
         misses = self._cache_scan(defect_sets, out)
         if len(misses) < workers * _MIN_SYNDROMES_PER_WORKER:

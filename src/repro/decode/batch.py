@@ -18,8 +18,12 @@ identical algorithm over *all* unique syndromes of a batch at once:
    singletons and pairs resolve with pure array ops, mid-size
    components run the subset DP *stacked* (one gather + ``argmin`` per
    popcount level for every same-size component simultaneously), and
-   only components beyond :data:`DP_DEFECT_LIMIT` defects fall through
-   to the native blossom engine one by one.
+   only components beyond the decoder's DP cutoff
+   (``MatchingDecoder._dp_cutoff`` — the stacked-DP ceiling for the
+   sparse matcher, :data:`DP_DEFECT_LIMIT` for the dense one) fall
+   through to the decoder's oversize matching engine one by one
+   (``MatchingDecoder._match_oversize``: the sparse region-growing
+   engine by default, the dense blossom as oracle).
 
 Every numerical step reproduces the serial path operation-for-
 operation — the same symmetrisation, the same transition tables, the
@@ -314,6 +318,7 @@ def decode_blossom_batch(decoder, defect_sets) -> np.ndarray:
     # --- k > DP_SCALAR_LIMIT: decompose every syndrome's pairable
     # graph in one block-stacked connected_components call, then
     # bucket the components by size class.
+    dp_cutoff = decoder._dp_cutoff
     big = np.nonzero(counts > DP_SCALAR_LIMIT)[0]
     if big.size == 0:
         return out
@@ -385,7 +390,7 @@ def decode_blossom_batch(decoder, defect_sets) -> np.ndarray:
         )
 
     # Mid-size components: stacked subset DP per size class.
-    for n in range(3, DP_DEFECT_LIMIT + 1):
+    for n in range(3, dp_cutoff + 1):
         comps = np.nonzero(comp_sizes == n)[0]
         if comps.size == 0:
             continue
@@ -396,12 +401,15 @@ def decode_blossom_batch(decoder, defect_sets) -> np.ndarray:
             b_col,
         )
 
-    # Oversize components: one native blossom matching each.
-    for c in np.nonzero(comp_sizes > DP_DEFECT_LIMIT)[0]:
+    # Oversize components: one matching-engine call each (sparse
+    # region-growing by default, dense blossom under matcher="dense" —
+    # the same dispatch the serial path uses, so both stay
+    # bit-identical).
+    for c in np.nonzero(comp_sizes > dp_cutoff)[0]:
         members = sorted_nodes[comp_starts[c] : comp_starts[c + 1]]
         det = flat_det[members][None, :]
         W, use_pair, _, P, b_dist, b_par = _gather(dist, par, b_col, det)
-        parity = decoder._blossom_match(
+        parity = decoder._match_oversize(
             len(members), W[0], use_pair[0], P[0], b_dist[0], b_par[0]
         )
         out[sorted_syn[comp_starts[c]]] ^= np.uint8(parity)

@@ -2,12 +2,21 @@
 
 A self-contained primal–dual blossom-shrinking matcher (Galil's
 formulation of Edmonds' algorithm) specialised to the decoder's
-*reduced defect graph*: a dense ``k × k`` distance matrix over the
-defects of one component plus an optional virtual boundary column.
-It replaces ``networkx.max_weight_matching`` in the decode hot path —
-the general-purpose library spends most of its time in per-edge dict
-lookups on a freshly built ``Graph`` object, while this engine runs on
-flat integer/float lists built straight from the numpy cost matrix.
+*reduced defect graph*.  It replaces ``networkx.max_weight_matching``
+in the decode hot path — the general-purpose library spends most of
+its time in per-edge dict lookups on a freshly built ``Graph`` object,
+while this engine runs on flat integer/float lists built straight from
+numpy arrays.
+
+The engine is edge-list driven, so its cost scales with the number of
+edges it is fed: the dense path (:func:`min_weight_perfect_matching`)
+hands it the complete ``k × k`` cost matrix of one defect component,
+while the sparse region-growing matcher
+(:mod:`repro.decode.sparse_match`) hands it only a few candidate edges
+per defect and re-enters with repairs until the dual solution
+certifies optimality over the complete graph — that is why
+:func:`blossom_core` returns the final dual variables alongside the
+matching.
 
 Semantics are pinned to the decoder's historical use of networkx
 (``max_weight_matching(..., maxcardinality=True)`` on ``big - w``
@@ -20,11 +29,11 @@ weights):
   total cost is minimal (exactly; this is not a heuristic),
 * **deterministic tie-breaking** — the alternating forest grows from
   free vertices in ascending index order and edges are enumerated in
-  lexicographic ``(i, j)`` order, so among equal-weight optima the
-  engine always returns the one this lowest-index-first scan reaches.
-  Two runs (or two machines) always produce the same matching, which
-  pins the tie ambiguity that the networkx backend left to inner dict
-  order (``tests/test_blossom.py`` freezes the rule on degenerate
+  the order they are fed, so among equal-weight optima the engine
+  always returns the one this lowest-index-first scan reaches.  Two
+  runs (or two machines) always produce the same matching, which pins
+  the tie ambiguity that the networkx backend left to inner dict order
+  (``tests/test_blossom.py`` freezes the rule on degenerate
   uniform-weight instances).
 
 The dual solution certifies optimality: for every matched edge the
@@ -38,15 +47,23 @@ Entry points
 :func:`min_weight_perfect_matching`
     Dense symmetric cost matrix (``inf`` = no edge) → partner array
     and total finite cost.  Max-cardinality min-weight semantics.
+:func:`blossom_core`
+    The flat edge-array core: ``(n, edge_i, edge_j, edge_w)`` →
+    ``(mate, dualvar)``.  The dual/blossom bookkeeping lives here and
+    is shared by the dense wrapper and the sparse matcher.
 :func:`max_weight_matching`
-    The underlying flat edge-list core, exposed for tests.
+    Edge-tuple-list wrapper over the core, kept for tests.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["min_weight_perfect_matching", "max_weight_matching"]
+__all__ = [
+    "blossom_core",
+    "min_weight_perfect_matching",
+    "max_weight_matching",
+]
 
 #: Slack tolerance for "this edge is tight" decisions.  Dual updates
 #: subtract exact minima, so residues are pure float rounding — a few
@@ -55,27 +72,45 @@ __all__ = ["min_weight_perfect_matching", "max_weight_matching"]
 _EPS = 1e-9
 
 
-def max_weight_matching(
+def blossom_core(
     num_vertices: int,
-    edges: list[tuple[int, int, float]],
-) -> list[int]:
-    """Maximum-cardinality maximum-weight matching on an edge list.
+    edge_i: list[int],
+    edge_j: list[int],
+    edge_w: list[float],
+    jumpstart: bool = False,
+) -> tuple[list[int], list[float]]:
+    """Maximum-cardinality maximum-weight matching on flat edge arrays.
 
-    Returns ``mate`` with ``mate[v]`` the partner vertex of ``v`` or
-    ``-1``.  Among maximum-cardinality matchings the total weight is
-    maximal.  The implementation is the O(n³)-per-stage primal–dual
-    method: grow alternating forests from free vertices, shrink
-    odd cycles into blossoms, augment along tight paths, and adjust
-    dual variables by the minimum slack when no tight edge is usable.
+    Returns ``(mate, dualvar)``: ``mate[v]`` is the partner vertex of
+    ``v`` or ``-1``, and ``dualvar`` holds the final vertex duals
+    (slots ``0..n-1``) and blossom duals (slots ``n..2n-1``).  Among
+    maximum-cardinality matchings the total weight is maximal.  The
+    implementation is the O(n³)-per-stage primal–dual method: grow
+    alternating forests from free vertices, shrink odd cycles into
+    blossoms, augment along tight paths, and adjust dual variables by
+    the minimum slack when no tight edge is usable.
+
+    The duals satisfy, for every edge ``k`` the core was fed,
+    ``dualvar[i] + dualvar[j] - 2 w_k ≥ 0`` (up to rounding, and up to
+    the duals of blossoms containing both endpoints, which only help).
+    The sparse matcher uses exactly this inequality to detect edges it
+    withheld that could still improve the matching.
+
+    ``jumpstart=True`` greedily pre-matches initially-tight edges
+    (weight equal to the maximum, i.e. cheapest-possible routes) in
+    input order before the first stage.  Every primal–dual invariant
+    holds — matched edges are tight, duals feasible — so the optimum
+    is unchanged, but on degenerate-weight components most stages
+    disappear.  Among equal-weight optima the returned matching may
+    differ from the non-jumpstarted scan, which is why the dense
+    oracle path never sets it and the pinned-tie-break tests keep
+    their guarantees.
     """
     n = num_vertices
-    m = len(edges)
+    m = len(edge_w)
     if n == 0 or m == 0:
-        return [-1] * n
+        return [-1] * n, [0.0] * (2 * n)
 
-    edge_i = [e[0] for e in edges]
-    edge_j = [e[1] for e in edges]
-    edge_w = [float(e[2]) for e in edges]
     # endpoint[p] is the vertex at endpoint p; edge k owns endpoints
     # 2k (its i side) and 2k+1 (its j side).
     endpoint: list[int] = []
@@ -129,7 +164,10 @@ def max_weight_matching(
         labelend[w] = labelend[b] = p
         bestedge[w] = bestedge[b] = -1
         if t == 1:
-            queue.extend(blossom_leaves(b))
+            if b < n:  # a plain vertex is its own only leaf
+                queue.append(b)
+            else:
+                queue.extend(blossom_leaves(b))
         else:  # T-label: the base's mate becomes an S-vertex.
             base = blossombase[b]
             assign_label(endpoint[mate[base]], 1, mate[base] ^ 1)
@@ -343,6 +381,19 @@ def max_weight_matching(
                 mate[j] = labelend[bt]
                 p = labelend[bt] ^ 1
 
+    if jumpstart:
+        # Greedy matching on initially-tight edges (w == max weight):
+        # mate[] entries are endpoint codes, consistent with the core's
+        # bookkeeping, and every matched edge satisfies complementary
+        # slackness at the starting duals.
+        tight = max_weight - _EPS
+        for k in range(m):
+            if edge_w[k] >= tight:
+                i, j = edge_i[k], edge_j[k]
+                if mate[i] == -1 and mate[j] == -1 and i != j:
+                    mate[i] = 2 * k + 1
+                    mate[j] = 2 * k
+
     for _stage in range(n):
         # Each stage augments the matching by one edge or proves that
         # no larger max-cardinality matching exists.
@@ -365,7 +416,14 @@ def max_weight_matching(
                     if inblossom[v] == inblossom[w]:
                         continue  # internal blossom edge
                     if not allowedge[k]:
-                        kslack = slack(k)
+                        # slack(k), inlined: this line and the bestedge
+                        # comparisons below are the hottest statements
+                        # in the engine.
+                        kslack = (
+                            dualvar[edge_i[k]]
+                            + dualvar[edge_j[k]]
+                            - 2.0 * edge_w[k]
+                        )
                         if kslack <= _EPS:
                             allowedge[k] = True
                     if allowedge[k]:
@@ -385,10 +443,20 @@ def max_weight_matching(
                             labelend[w] = p ^ 1
                     elif label[inblossom[w]] == 1:
                         b = inblossom[v]
-                        if bestedge[b] == -1 or kslack < slack(bestedge[b]):
+                        kb = bestedge[b]
+                        if kb == -1 or kslack < (
+                            dualvar[edge_i[kb]]
+                            + dualvar[edge_j[kb]]
+                            - 2.0 * edge_w[kb]
+                        ):
                             bestedge[b] = k
                     elif label[w] == 0:
-                        if bestedge[w] == -1 or kslack < slack(bestedge[w]):
+                        kb = bestedge[w]
+                        if kb == -1 or kslack < (
+                            dualvar[edge_i[kb]]
+                            + dualvar[edge_j[kb]]
+                            - 2.0 * edge_w[kb]
+                        ):
                             bestedge[w] = k
             if augmented:
                 break
@@ -400,23 +468,29 @@ def max_weight_matching(
             deltaedge = -1
             deltablossom = -1
             for v in range(n):
-                if label[inblossom[v]] == 0 and bestedge[v] != -1:
-                    d = slack(bestedge[v])
+                kb = bestedge[v]
+                if label[inblossom[v]] == 0 and kb != -1:
+                    d = (
+                        dualvar[edge_i[kb]]
+                        + dualvar[edge_j[kb]]
+                        - 2.0 * edge_w[kb]
+                    )
                     if deltatype == -1 or d < delta:
                         delta = d
                         deltatype = 2
-                        deltaedge = bestedge[v]
+                        deltaedge = kb
             for b in range(2 * n):
-                if (
-                    blossomparent[b] == -1
-                    and label[b] == 1
-                    and bestedge[b] != -1
-                ):
-                    d = slack(bestedge[b]) / 2.0
+                kb = bestedge[b]
+                if blossomparent[b] == -1 and label[b] == 1 and kb != -1:
+                    d = (
+                        dualvar[edge_i[kb]]
+                        + dualvar[edge_j[kb]]
+                        - 2.0 * edge_w[kb]
+                    ) / 2.0
                     if deltatype == -1 or d < delta:
                         delta = d
                         deltatype = 3
-                        deltaedge = bestedge[b]
+                        deltaedge = kb
             for b in range(n, 2 * n):
                 if (
                     blossombase[b] >= 0
@@ -471,7 +545,23 @@ def max_weight_matching(
     for v in range(n):
         if mate[v] >= 0:
             result[v] = endpoint[mate[v]]
-    return result
+    return result, dualvar
+
+
+def max_weight_matching(
+    num_vertices: int,
+    edges: list[tuple[int, int, float]],
+) -> list[int]:
+    """Maximum-cardinality maximum-weight matching on an edge list.
+
+    Tuple-list wrapper over :func:`blossom_core`, kept for tests and
+    callers that do not need the dual solution.
+    """
+    edge_i = [e[0] for e in edges]
+    edge_j = [e[1] for e in edges]
+    edge_w = [float(e[2]) for e in edges]
+    mate, _ = blossom_core(num_vertices, edge_i, edge_j, edge_w)
+    return mate
 
 
 def min_weight_perfect_matching(
@@ -501,8 +591,7 @@ def min_weight_perfect_matching(
         return [-1] * n, 0.0
     big = 1.0 + 2.0 * float(cost[iu, ju].max())
     weights = (big - cost[iu, ju]).tolist()
-    edges = list(zip(iu.tolist(), ju.tolist(), weights))
-    mate = max_weight_matching(n, edges)
+    mate, _ = blossom_core(n, iu.tolist(), ju.tolist(), weights)
     total = 0.0
     for v in range(n):
         if 0 <= mate[v] and v < mate[v]:

@@ -136,6 +136,7 @@ class DecodingGraph:
         self.edge_parities = np.array(parities, dtype=np.uint8)
         self._path_cache: dict = {}
         self._matrices: tuple[np.ndarray, np.ndarray] | None = None
+        self._csr = None
 
     # -- precomputed matrices ------------------------------------------
     @property
@@ -156,7 +157,6 @@ class DecodingGraph:
         return self._matrices
 
     def _build_matrices(self) -> tuple[np.ndarray, np.ndarray]:
-        from scipy.sparse import csr_matrix
         from scipy.sparse.csgraph import dijkstra
 
         n1 = self.num_detectors + 1
@@ -165,7 +165,7 @@ class DecodingGraph:
             dist = np.full((n1, n1), np.inf)
             np.fill_diagonal(dist, 0.0)
             return dist, np.zeros((n1, n1), dtype=np.uint8)
-        adj = csr_matrix((self.edge_weights, (us, vs)), shape=(n1, n1))
+        adj = self.ensure_csr()  # one shared adjacency with region growth
         dist, preds = dijkstra(adj, directed=False, return_predecessors=True)
 
         edge_obs = np.zeros((n1, n1), dtype=np.uint8)
@@ -185,6 +185,26 @@ class DecodingGraph:
             parity ^= np.take_along_axis(parity, anc, axis=1)
             anc = np.take_along_axis(anc, anc, axis=1)
         return dist, parity
+
+    def ensure_csr(self):
+        """Sparse CSR adjacency over ``num_detectors + 1`` nodes, cached.
+
+        One direction per edge (callers pass ``directed=False`` to the
+        scipy graph routines, exactly as :meth:`_build_matrices` does);
+        index ``num_detectors`` is the boundary.  This is the
+        structure the sparse matcher's region growth walks
+        (:func:`repro.decode.sparse_match.region_candidates`), built
+        once per graph like the all-pairs matrices.
+        """
+        if self._csr is None:
+            from scipy.sparse import csr_matrix
+
+            n1 = self.num_detectors + 1
+            us, vs = self.edge_endpoints
+            self._csr = csr_matrix(
+                (self.edge_weights, (us, vs)), shape=(n1, n1)
+            )
+        return self._csr
 
     def node_index(self, node) -> int:
         """Matrix index of a graph node (detector int or ``BOUNDARY``)."""

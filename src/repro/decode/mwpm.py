@@ -6,11 +6,18 @@ deduplication, syndrome LRU, forked-pool sharding, packed-bitplane
 input):
 
 * ``"blossom"`` — exact minimum-weight perfect matching on the defect
-  graph; small components are solved by subset DP, larger ones by the
-  native primal–dual blossom engine
-  (:mod:`repro.decode.blossom`) — no external graph library is
+  graph; small components are solved by subset DP, larger ones by a
+  native primal–dual blossom engine — no external graph library is
   involved anywhere in the decode path.  Each defect matches another
-  defect or routes to the virtual boundary.
+  defect or routes to the virtual boundary.  The ``matcher``
+  constructor option picks the engine for components past the DP
+  cutoff: ``"sparse"`` (default) grows match regions on sparse
+  candidate edges (:mod:`repro.decode.sparse_match`) and repairs
+  against the dual certificate, ``"dense"`` feeds the complete
+  component graph to :mod:`repro.decode.blossom` and is kept as the
+  oracle.  Both optimise the identical objective; among equal-weight
+  ties they may pick different matchings, so bit-identity suites pin
+  the dense engine and weight-equality suites pin both.
 * ``"greedy"`` — nearest-neighbour greedy matching; fast, slightly
   suboptimal, kept for sanity checks and as the cheapest baseline.
 * ``"uf"`` — the almost-linear union-find decoder
@@ -61,6 +68,12 @@ from repro.decode.batch import (
 )
 from repro.decode.blossom import min_weight_perfect_matching
 from repro.decode.graph import BOUNDARY, DecodingGraph
+from repro.decode.sparse_match import (
+    SPARSE_MIN_DEFECTS,
+    region_candidates,
+    sparse_match,
+    sparse_match_parity,
+)
 from repro.decode.uf import UnionFindDecoder
 from repro.sim.dem import DetectorErrorModel
 
@@ -75,22 +88,39 @@ class MatchingDecoder(Decoder):
     """Decode detector samples to observable-flip predictions."""
 
     METHODS = ("blossom", "greedy", "uf")
+    #: Matching engines for oversize components: ``"sparse"`` (the
+    #: region-growing engine of :mod:`repro.decode.sparse_match`,
+    #: default) or ``"dense"`` (the complete-graph blossom path, kept
+    #: as the oracle).  Both are exact; among equal-weight optima they
+    #: may return different matchings.
+    MATCHERS = ("sparse", "dense")
 
     def __init__(
         self,
         dem: DetectorErrorModel,
         *,
         method: str = "blossom",
+        matcher: str = "sparse",
         cache_size: int = DEFAULT_CACHE_SIZE,
         use_matrices: bool | None = None,
         workers: int | None = None,
     ) -> None:
         if method not in self.METHODS:
             raise ValueError(f"method must be one of {self.METHODS}")
+        if matcher not in self.MATCHERS:
+            raise ValueError(f"matcher must be one of {self.MATCHERS}")
         super().__init__(
             DecodingGraph(dem), cache_size=cache_size, workers=workers
         )
         self.method = method
+        self.matcher = matcher
+        # Largest component the subset DPs keep: the sparse engine
+        # takes over right above the stacked-DP ceiling; the dense
+        # path keeps the serial level-batched DP up to the historical
+        # limit before switching to the complete-graph blossom.
+        self._dp_cutoff = (
+            SPARSE_MIN_DEFECTS - 1 if matcher == "sparse" else DP_DEFECT_LIMIT
+        )
         if use_matrices is None:
             use_matrices = self.graph.use_matrices
         self.use_matrices = use_matrices
@@ -229,13 +259,27 @@ class MatchingDecoder(Decoder):
         sub = np.ix_(idx, idx)
         if n <= DP_SCALAR_LIMIT:
             matcher = self._dp_match
-        elif n <= DP_DEFECT_LIMIT:
+        elif n <= self._dp_cutoff:
             matcher = self._dp_match_vec
         else:
-            matcher = self._blossom_match
+            matcher = self._match_oversize
         return matcher(
             n, W[sub], use_pair[sub], P[sub], b_dist[idx], b_par[idx]
         )
+
+    def _match_oversize(self, k, W, use_pair, P, b_dist, b_par) -> int:
+        """Matching-engine dispatch for components past the DP cutoff.
+
+        The seam the vectorised batch pipeline calls too, so the
+        serial and batched paths always agree on which engine matched
+        a component: ``matcher="sparse"`` grows the component on
+        candidate edges (:func:`repro.decode.sparse_match.
+        sparse_match_parity`), ``matcher="dense"`` keeps the
+        complete-graph blossom.
+        """
+        if self.matcher == "sparse":
+            return sparse_match_parity(k, W, use_pair, P, b_dist, b_par)
+        return self._blossom_match(k, W, use_pair, P, b_dist, b_par)
 
     @staticmethod
     def _reduced_cost(k, W, b_dist):
@@ -460,19 +504,27 @@ class MatchingDecoder(Decoder):
         optimal matching itself is degenerate.  ``matcher`` selects the
         formulation used to compute it:
 
-        * ``"blossom"`` — the native engine on the reduced defect graph
+        * ``"blossom"`` — the dense engine on the reduced defect graph
           (no component decomposition, so the value covers the whole
           defect set at once),
+        * ``"sparse"`` — the region-growing engine on candidate edges
+          grown over the decoding graph
+          (:func:`repro.decode.sparse_match.region_candidates`), the
+          same value computed without ever materialising the dense
+          defect graph,
         * ``"dp"`` — the scalar subset DP (exponential in the defect
           count; intended for test-sized syndromes),
         * ``"legacy"`` — the seed's ``2k``-node boundary-copy
           formulation on per-shot Dijkstra distances.
 
-        Agreement of the three (and of an external solver fed the same
-        matrix) is asserted by ``tests/test_decode_agreement.py``.
+        Agreement of the four (and of an external solver fed the same
+        matrix) is asserted by ``tests/test_decode_agreement.py`` and
+        ``tests/test_sparse_match.py``.
         """
-        if matcher not in ("blossom", "dp", "legacy"):
-            raise ValueError("matcher must be 'blossom', 'dp' or 'legacy'")
+        if matcher not in ("blossom", "sparse", "dp", "legacy"):
+            raise ValueError(
+                "matcher must be 'blossom', 'sparse', 'dp' or 'legacy'"
+            )
         sample = np.asarray(detector_sample)
         nonzero = np.nonzero(sample)[0]
         defects = tuple(
@@ -499,8 +551,12 @@ class MatchingDecoder(Decoder):
         W = np.minimum(D, b_dist[:, None] + b_dist[None, :])
         if matcher == "dp":
             return self._dp_weight(k, W, b_dist)
-        n, cost = self._reduced_cost(k, W, b_dist)
-        mate, total = min_weight_perfect_matching(cost)
+        if matcher == "sparse":
+            seeds = region_candidates(self.graph, np.asarray(defects))
+            mate, total = sparse_match(W, b_dist, seeds=seeds)
+        else:
+            n, cost = self._reduced_cost(k, W, b_dist)
+            mate, total = min_weight_perfect_matching(cost)
         for i in range(k):  # disconnected leftovers route alone
             if mate[i] < 0 and np.isfinite(b_dist[i]):
                 total += float(b_dist[i])

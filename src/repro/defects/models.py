@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.surface.lattice import Coord, is_data_coord, is_face_coord
+from repro.surface.lattice import Coord
 
 __all__ = ["DefectEvent", "CosmicRayModel", "sample_defect_region"]
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.codes import Check, StabilizerGenerator
+from repro.codes import Check
 from repro.codes.subsystem import SubsystemCode
 from repro.deform.gauge import reroute_logical_off, s2s_merge, stabilizers_containing
 from repro.pauli import PauliOp, commutes

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sim.circuit import Circuit, CompiledCircuit, Instruction
+from repro.sim.circuit import Circuit, CompiledCircuit
 from repro.utils.gf2 import PackedBits, gf2_pack, gf2_unpack, gf2_xor_csr
 
 __all__ = [

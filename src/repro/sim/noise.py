@@ -10,7 +10,7 @@ varies the two-qubit (correlated) error rate independently.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["NoiseModel"]
 

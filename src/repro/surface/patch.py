@@ -12,7 +12,6 @@ from repro.codes import Check, StabilizerGenerator, SubsystemCode
 from repro.pauli import PauliOp
 from repro.surface.lattice import (
     Coord,
-    face_coords,
     face_neighbors,
     face_type,
     is_data_coord,

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.surface.lattice import Coord
 from repro.surface.patch import SurfacePatch, rotated_rect_patch
 
 __all__ = [

@@ -11,7 +11,7 @@ from repro.compiler import (
     ripple_carry_adder,
     simon,
 )
-from repro.surface import rotated_rect_patch, rotated_surface_code
+from repro.surface import rotated_rect_patch
 from repro.surgery import (
     TFactory,
     cnot_via_ancilla,

@@ -319,8 +319,10 @@ class TestMatchingWeights:
                 w_blossom = dec.matching_weight(s, matcher="blossom")
                 w_dp = dec.matching_weight(s, matcher="dp")
                 w_legacy = dec.matching_weight(s, matcher="legacy")
+                w_sparse = dec.matching_weight(s, matcher="sparse")
                 assert w_blossom == pytest.approx(w_dp)
                 assert w_blossom == pytest.approx(w_legacy)
+                assert w_blossom == pytest.approx(w_sparse)
 
     def test_weights_match_networkx_oracle(self):
         rng = np.random.default_rng(103)
@@ -366,24 +368,34 @@ class TestLargeComponents:
 
     def test_dense_random_dems_weight_and_prediction(self, monkeypatch):
         """Randomized >14-defect syndromes: native vs DP-free legacy
-        predictions and the networkx weight oracle."""
+        predictions and the networkx weight oracle.
+
+        Weights here are continuous (tie-free), so the sparse
+        region-growing matcher must reproduce the dense predictions
+        bit-for-bit too — the optimum is unique.
+        """
         seen = self._force_native(monkeypatch)
         rng = np.random.default_rng(105)
         for _ in range(3):
             dem = random_dem(
                 rng, max_detectors=24, min_detectors=20, max_mechanisms=120
             )
-            new = MatchingDecoder(dem)
+            sparse = MatchingDecoder(dem)
+            dense = MatchingDecoder(dem, matcher="dense")
             legacy = MatchingDecoder(dem, use_matrices=False, cache_size=0)
             for s in random_syndromes(rng, dem.num_detectors, 25, 22):
                 if s.sum() <= mwpm_module.DP_DEFECT_LIMIT:
                     continue
-                assert new.decode(s) == legacy.decode(s)
-                assert new.matching_weight(s) == pytest.approx(
-                    networkx_reduced_weight(new, s)
+                assert dense.decode(s) == legacy.decode(s)
+                assert sparse.decode(s) == legacy.decode(s)
+                assert dense.matching_weight(s) == pytest.approx(
+                    networkx_reduced_weight(dense, s)
                 )
-                assert new.matching_weight(s) == pytest.approx(
-                    new.matching_weight(s, matcher="legacy")
+                assert dense.matching_weight(s) == pytest.approx(
+                    dense.matching_weight(s, matcher="legacy")
+                )
+                assert dense.matching_weight(s, matcher="sparse") == (
+                    pytest.approx(dense.matching_weight(s))
                 )
         assert max(seen, default=0) > mwpm_module.DP_DEFECT_LIMIT
 
@@ -398,7 +410,10 @@ class TestLargeComponents:
     def test_dense_memory_circuits(self, monkeypatch, p, rounds, defective):
         """p ≥ 3e-3 and untreated-defect runs at d=5: the native engine
         handles >14-defect components and agrees with networkx on total
-        weight (and with the legacy path on predictions)."""
+        weight (and with the legacy path on predictions).  Circuit
+        weights are highly degenerate, so the sparse matcher is pinned
+        on the weight objective (ties may legitimately resolve to a
+        different equal-weight matching there)."""
         seen = self._force_native(monkeypatch)
         patch = rotated_surface_code(5)
         circuit = memory_circuit(
@@ -409,7 +424,7 @@ class TestLargeComponents:
             defective_data=defective,
         )
         dem = build_dem(circuit)
-        new = MatchingDecoder(dem)
+        new = MatchingDecoder(dem, matcher="dense")
         legacy = MatchingDecoder(dem, use_matrices=False, cache_size=0)
         detectors, _ = sample_detectors(circuit, 60, seed=7)
         assert (
@@ -423,6 +438,9 @@ class TestLargeComponents:
             assert new.matching_weight(detectors[row]) == pytest.approx(
                 networkx_reduced_weight(new, detectors[row])
             )
+            assert new.matching_weight(
+                detectors[row], matcher="sparse"
+            ) == pytest.approx(new.matching_weight(detectors[row]))
         assert max(seen, default=0) > mwpm_module.DP_DEFECT_LIMIT
 
 

@@ -1,6 +1,5 @@
 """Tests for defect models, detection, layout generation and routing."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

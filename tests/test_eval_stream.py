@@ -1,6 +1,5 @@
 """Chunked-streaming evaluation harnesses on the unified batch API."""
 
-import numpy as np
 import pytest
 
 from repro.compiler.programs import Program

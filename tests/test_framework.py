@@ -1,6 +1,5 @@
 """Tests for the SurfDeformer facade and Monte-Carlo harness integration."""
 
-import pytest
 
 from repro import SurfDeformer, rotated_surface_code
 from repro.codes import check_code

@@ -6,7 +6,6 @@ codes remain simulatable and decodable, and the framework's numbers stay
 self-consistent.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.codes import check_code, code_distance, graph_distance
+from repro.codes import check_code, code_distance
 from repro.deform import (
     CodeDeformationUnit,
     adaptive_enlargement,

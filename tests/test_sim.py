@@ -1,6 +1,5 @@
 """Tests for the circuit IR, Pauli-frame sampler and DEM extraction."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

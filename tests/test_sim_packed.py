@@ -7,7 +7,6 @@ under a shared pre-drawn noise mask, and correct round-trips for ragged
 shot counts (shots % 64 != 0).
 """
 
-import numpy as np
 import pytest
 
 from repro.deform import data_q_rm, syndrome_q_rm

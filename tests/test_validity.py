@@ -7,7 +7,6 @@ from repro.codes import (
     StabilizerGenerator,
     SubsystemCode,
     ValidityError,
-    check_code,
     check_generator_representation,
     check_measurement_set,
 )
