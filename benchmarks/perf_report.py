@@ -77,6 +77,7 @@ import numpy as np  # noqa: E402
 import scipy  # noqa: E402
 
 from repro.decode import MatchingDecoder  # noqa: E402
+from repro.store import atomic_write_text  # noqa: E402
 from repro.decode.batch import _gather  # noqa: E402
 from repro.decode.sparse_match import (  # noqa: E402
     SPARSE_MIN_DEFECTS,
@@ -472,7 +473,9 @@ def main(argv: list[str] | None = None) -> int:
             status = 1
     for record in all_records:
         record["machine"] = machine
-    out_path.write_text(json.dumps(all_records, indent=2) + "\n")
+    # Write-temp-then-replace: a run interrupted mid-write can never
+    # truncate the committed baseline (or a smoke report CI archives).
+    atomic_write_text(out_path, json.dumps(all_records, indent=2) + "\n")
     print(f"wrote {out_path} ({len(all_records)} records)")
 
     if args.smoke:

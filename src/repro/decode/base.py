@@ -19,9 +19,14 @@ implements :meth:`Decoder._decode_defects`:
   nonzero syndromes; predictions scatter back through the inverse map.
 * **syndrome LRU** — decoded predictions are cached keyed on the
   defect tuple; repeat syndromes across batches are dictionary hits.
-* **sharding** — ``workers=N`` forks a process pool over the unique
-  syndromes (copy-on-write graph data, results absorbed into the
-  parent's cache); see :meth:`Decoder._decode_unique_parallel`.
+* **sharding** — ``workers=N`` forks one worker process per shard of
+  the unique syndromes (copy-on-write graph data, results absorbed
+  into the parent's cache); see :meth:`Decoder._decode_unique_parallel`.
+  The pool is *fault-tolerant*: a worker that crashes, is killed, or
+  exceeds :attr:`Decoder.pool_timeout` only forfeits its own shard —
+  the parent detects the dead pipe and decodes that shard serially,
+  so predictions are identical to the serial path whatever happens to
+  the workers, and every forked process is joined on every exit path.
 
 Single-shot :meth:`Decoder.decode` is a thin wrapper over the same
 machinery.  Subclasses may override :meth:`Decoder._decode_misses` to
@@ -35,6 +40,7 @@ from __future__ import annotations
 import multiprocessing
 import sys
 import threading
+import time
 from collections import OrderedDict
 
 import numpy as np
@@ -58,13 +64,43 @@ _MIN_SYNDROMES_PER_WORKER = 32
 _POOL_DECODER: "Decoder | None" = None
 _POOL_LOCK = threading.Lock()
 
+#: Fault-injection seam for the crash-safety tests: when set to a
+#: callable, every shard worker invokes it with its shard index right
+#: after forking (before decoding).  Tests install e.g. a SIGKILL of
+#: the worker's own pid for one shard to exercise the serial-fallback
+#: path; production never sets it.
+_WORKER_FAULT = None
 
-def _pool_decode(defects: tuple[int, ...]) -> int:
-    return _POOL_DECODER._decode_cached(defects)
+#: Seconds between liveness/pipe polls while collecting a shard.
+_POOL_POLL_INTERVAL = 0.02
+
+
+def _shard_worker(shard_index: int, defect_sets, conn) -> None:
+    """Decode one shard in a forked child and pipe the bytes back.
+
+    The decoder (graph matrices included) is inherited copy-on-write
+    via ``_POOL_DECODER``; only the result bytes cross the pipe.  Any
+    abnormal end — crash, kill, unpickleable state — simply closes the
+    pipe, which the parent observes as EOF and treats as shard loss.
+    """
+    if _WORKER_FAULT is not None:
+        _WORKER_FAULT(shard_index)
+    out = bytearray(len(defect_sets))
+    for i, defects in enumerate(defect_sets):
+        out[i] = _POOL_DECODER._decode_cached(defects)
+    conn.send_bytes(bytes(out))
+    conn.close()
 
 
 class Decoder:
     """Batched, cached, shardable front-end over ``_decode_defects``."""
+
+    #: Per-shard wall-clock budget for forked workers, in seconds
+    #: (``None`` = unbounded).  A shard whose worker is still running
+    #: past the budget is terminated and decoded serially in the
+    #: parent; crashes are detected immediately via pipe EOF and never
+    #: wait for this.  Settable per instance.
+    pool_timeout: float | None = None
 
     def __init__(
         self,
@@ -84,6 +120,8 @@ class Decoder:
         )
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Shards recovered serially after a worker crash/kill/timeout.
+        self.pool_failures = 0
 
     # -- the backend contract ------------------------------------------
     def _decode_defects(self, defects: tuple[int, ...]) -> int:
@@ -262,7 +300,7 @@ class Decoder:
     def _decode_unique_parallel(
         self, defect_sets: list[tuple[int, ...]], workers: int
     ) -> np.ndarray:
-        """Shard unique-syndrome decoding across a forked process pool.
+        """Shard unique-syndrome decoding across forked worker processes.
 
         The decoder (path matrices included) is inherited by each
         worker copy-on-write at fork time, so nothing large is pickled;
@@ -270,6 +308,17 @@ class Decoder:
         Cache hits are resolved in the parent first, and the parent's
         syndrome LRU absorbs the workers' results afterwards, so a
         sharded batch warms the cache exactly like a serial one.
+
+        Fault tolerance: each shard has its own worker and pipe.  A
+        worker that dies (crash, OOM kill, SIGKILL) closes its pipe,
+        which the parent sees as EOF; a worker still running past
+        :attr:`pool_timeout` is terminated.  Either way only that shard
+        falls back to serial decoding in the parent
+        (``pool_failures`` counts the recoveries) — predictions are
+        always exactly the serial path's.  The ``finally`` block
+        terminates and joins every worker on every exit path, so no
+        forked process outlives the call even when the caller's side
+        raises.
 
         Caveat: decoders whose per-shot state is rebuilt on demand
         (e.g. ``use_matrices=False`` path caches) duplicate that work
@@ -288,25 +337,77 @@ class Decoder:
             return out
         global _POOL_DECODER
         ctx = multiprocessing.get_context("fork")
-        chunk = max(1, len(misses) // (workers * 8))
-        # The lock spans the pool's whole lifetime: initial workers fork
-        # with this decoder, and so does any replacement the pool
-        # respawns after an abnormal worker death.  Concurrent sharded
-        # batches from other threads serialise here — overlapping
-        # process pools would only fight for the same cores.
+        miss_sets = [defect_sets[i] for i in misses]
+        shards = np.array_split(np.arange(len(miss_sets)), workers)
+        results = np.zeros(len(miss_sets), dtype=np.uint8)
+        procs: list[tuple] = []
+        # The lock spans the workers' whole lifetime: every shard forks
+        # against this decoder.  Concurrent sharded batches from other
+        # threads serialise here — overlapping process pools would only
+        # fight for the same cores.
         with _POOL_LOCK:
             _POOL_DECODER = self
             try:
-                with ctx.Pool(workers) as pool:
-                    results = pool.map(
-                        _pool_decode,
-                        [defect_sets[i] for i in misses],
-                        chunksize=chunk,
+                for k, shard in enumerate(shards):
+                    if len(shard) == 0:
+                        continue
+                    recv, send = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_shard_worker,
+                        args=(k, [miss_sets[i] for i in shard], send),
+                        daemon=True,
                     )
+                    proc.start()
+                    # Close the parent's copy of the write end so a dead
+                    # worker's pipe reads as EOF instead of blocking.
+                    send.close()
+                    procs.append((proc, recv, shard))
+                for proc, recv, shard in procs:
+                    shard_results = self._collect_shard(proc, recv, len(shard))
+                    if shard_results is None:
+                        self.pool_failures += 1
+                        if proc.is_alive():
+                            proc.terminate()
+                        shard_results = self._decode_misses(
+                            [miss_sets[i] for i in shard]
+                        )
+                    results[shard] = shard_results
             finally:
                 _POOL_DECODER = None
+                for proc, recv, _ in procs:
+                    if proc.is_alive():
+                        proc.terminate()
+                    proc.join()
+                    recv.close()
         self._absorb_results(out, defect_sets, misses, results)
         return out
+
+    def _collect_shard(self, proc, conn, expected: int) -> np.ndarray | None:
+        """One shard's result bytes, or ``None`` if the worker was lost.
+
+        Polls the pipe (so a result sent just before an abnormal exit
+        is still honoured) and the process liveness; EOF on the pipe —
+        the immediate consequence of any worker death — reports loss
+        without waiting for a timeout.
+        """
+        deadline = (
+            time.monotonic() + self.pool_timeout
+            if self.pool_timeout is not None
+            else None
+        )
+        while True:
+            if conn.poll(_POOL_POLL_INTERVAL):
+                try:
+                    data = conn.recv_bytes()
+                except (EOFError, OSError):
+                    return None
+                if len(data) != expected:
+                    return None
+                return np.frombuffer(data, dtype=np.uint8).copy()
+            if not proc.is_alive() and not conn.poll(0):
+                return None
+            if deadline is not None and time.monotonic() > deadline:
+                return None
 
 
 def _defect_tuples(

@@ -156,6 +156,27 @@ class DecodingGraph:
             self._matrices = self._build_matrices()
         return self._matrices
 
+    def adopt_matrices(self, dist: np.ndarray, parity: np.ndarray) -> bool:
+        """Install precomputed all-pairs matrices (artifact-cache path).
+
+        Shapes and dtypes are validated against this graph — matrices
+        from a store keyed on a different configuration are refused (and
+        the graph falls back to building its own), never installed
+        blindly.  Returns whether the matrices were adopted.
+        """
+        n1 = self.num_detectors + 1
+        dist = np.asarray(dist)
+        parity = np.asarray(parity)
+        if (
+            dist.shape != (n1, n1)
+            or parity.shape != (n1, n1)
+            or dist.dtype != np.float64
+            or parity.dtype != np.uint8
+        ):
+            return False
+        self._matrices = (dist, parity)
+        return True
+
     def _build_matrices(self) -> tuple[np.ndarray, np.ndarray]:
         from scipy.sparse.csgraph import dijkstra
 

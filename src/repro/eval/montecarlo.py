@@ -25,6 +25,15 @@ Samples flow packed end to end: the sampler hands
 array), and ``chunk_shots`` streams a large experiment through the
 pipeline in bounded-memory chunks — each chunk sampled from an
 independent child seed — so 10^6-shot sweeps run in a few tens of MB.
+
+When an artifact store is active (:func:`repro.store.get_store` — via
+``set_store``/``using_store`` or the ``REPRO_STORE`` env var) the same
+content keys additionally persist the build products *on disk*:
+compiled circuit programs, extracted DEMs, and the decoding graph's
+all-pairs matrices are loaded from the store when present and written
+back after a build, so fresh processes skip the expensive d ≥ 7 builds
+entirely.  A corrupt entry is quarantined by the store and rebuilt
+here — persistence can slow a run down, never break it.
 """
 
 from __future__ import annotations
@@ -37,12 +46,15 @@ import numpy as np
 from repro.codes import SubsystemCode
 from repro.decode import MatchingDecoder
 from repro.sim import NoiseModel, build_dem, memory_circuit, sample_detectors
+from repro.sim.circuit import Circuit, compile_circuit
+from repro.store import get_store
 
 __all__ = [
     "MemoryResult",
     "memory_experiment",
     "logical_error_rate",
     "clear_decoder_cache",
+    "chunk_plan",
 ]
 
 #: Bounded decoder memo: content-derived cache key -> MatchingDecoder.
@@ -78,6 +90,41 @@ def _code_fingerprint(code: SubsystemCode) -> tuple:
     )
 
 
+def _circuit_fingerprint(circuit: Circuit) -> tuple:
+    """Content fingerprint of a circuit's instruction stream."""
+    return (
+        "circuit-v1",
+        circuit.num_qubits,
+        tuple(
+            (inst.name, inst.targets, inst.arg)
+            for inst in circuit.instructions
+        ),
+    )
+
+
+def prime_compiled(circuit: Circuit) -> Circuit:
+    """Warm a circuit's compile cache from the artifact store.
+
+    With no active store (or an in-process compile already cached) this
+    is a no-op.  Otherwise the compiled program is loaded by content
+    fingerprint — or compiled now and persisted — and installed, so
+    sampling and DEM extraction skip :func:`compile_circuit`.
+    """
+    store = get_store()
+    if store is None:
+        return circuit
+    cached = getattr(circuit, "_compiled", None)
+    if cached is not None and cached[0] == len(circuit.instructions):
+        return circuit
+    program = store.get_or_build(
+        "compiled_circuit",
+        _circuit_fingerprint(circuit),
+        lambda: compile_circuit(circuit),
+    )
+    circuit._compiled = (len(circuit.instructions), program)
+    return circuit
+
+
 def _cached_decoder(
     code: SubsystemCode,
     basis: str,
@@ -91,31 +138,53 @@ def _cached_decoder(
     """Decoder for one experiment configuration, memoised.
 
     ``circuit`` may supply an already-built memory circuit matching the
-    defect arguments, saving a rebuild on cache misses.
+    defect arguments, saving a rebuild on cache misses.  With an active
+    artifact store, the DEM and (for matrix-backed methods) the
+    all-pairs matrices are additionally persisted across processes,
+    keyed on the same content tuple.
     """
-    key = (
+    config_key = (
         _code_fingerprint(code),
         basis,
         rounds,
         noise,
         frozenset(defective_data or ()),
         frozenset(defective_ancillas or ()),
-        method,
     )
+    key = config_key + (method,)
     decoder = _DECODER_CACHE.get(key)
     if decoder is not None:
         _DECODER_CACHE.move_to_end(key)
         return decoder
-    if circuit is None:
-        circuit = memory_circuit(
-            code,
-            basis,
-            rounds,
-            noise,
-            defective_data=defective_data,
-            defective_ancillas=defective_ancillas,
+
+    def build_circuit() -> Circuit:
+        nonlocal circuit
+        if circuit is None:
+            circuit = memory_circuit(
+                code,
+                basis,
+                rounds,
+                noise,
+                defective_data=defective_data,
+                defective_ancillas=defective_ancillas,
+            )
+        return prime_compiled(circuit)
+
+    store = get_store()
+    if store is None:
+        dem = build_dem(build_circuit())
+    else:
+        # The DEM is method-independent, so its artifact is shared by
+        # every decoder method of the same experiment configuration.
+        dem = store.get_or_build(
+            "dem", config_key, lambda: build_dem(build_circuit())
         )
-    decoder = MatchingDecoder(build_dem(circuit), method=method)
+    decoder = MatchingDecoder(dem, method=method)
+    if store is not None and decoder.use_matrices and method != "uf":
+        dist, parity = store.get_or_build(
+            "path_matrices", config_key, decoder.graph.ensure_matrices
+        )
+        decoder.graph.adopt_matrices(dist, parity)
     _DECODER_CACHE[key] = decoder
     if len(_DECODER_CACHE) > _DECODER_CACHE_SIZE:
         _DECODER_CACHE.popitem(last=False)
@@ -146,7 +215,7 @@ class MemoryResult:
         return (1 - (1 - 2 * p) ** (1.0 / self.rounds)) / 2
 
 
-def _chunk_plan(
+def chunk_plan(
     shots: int, chunk_shots: int | None, seed: int | None
 ) -> list[tuple[int | None, int]]:
     """``(seed, shots)`` per streaming chunk.
@@ -154,6 +223,13 @@ def _chunk_plan(
     A single chunk passes ``seed`` through untouched (so unchunked
     results are unchanged by the streaming refactor); multiple chunks
     sample independent child streams spawned from ``seed``.
+
+    This plan is the *unit of resumability*: the checkpointed sweep
+    runner (:mod:`repro.sweep`) journals completed chunks by their
+    position in this list and replays only the missing ones — each
+    chunk re-run standalone as ``memory_experiment(shots=n,
+    seed=chunk_seed)`` draws exactly the bits the uninterrupted chunked
+    run would have, so merged counts are bit-identical.
     """
     if chunk_shots is None or chunk_shots >= shots or chunk_shots < 1:
         return [(seed, shots)]
@@ -206,13 +282,15 @@ def memory_experiment(
     """
     if rounds is None:
         rounds = max(3, min(code.n, 25))
-    circuit = memory_circuit(
-        code,
-        basis,
-        rounds,
-        noise,
-        defective_data=defective_data,
-        defective_ancillas=defective_ancillas,
+    circuit = prime_compiled(
+        memory_circuit(
+            code,
+            basis,
+            rounds,
+            noise,
+            defective_data=defective_data,
+            defective_ancillas=defective_ancillas,
+        )
     )
     if decoder_aware_of_defects:
         decoder_defects = (defective_data, defective_ancillas)
@@ -233,7 +311,7 @@ def memory_experiment(
         circuit=decoder_circuit,
     )
     errors = 0
-    for chunk_seed, chunk in _chunk_plan(shots, chunk_shots, seed):
+    for chunk_seed, chunk in chunk_plan(shots, chunk_shots, seed):
         detectors, observables = sample_detectors(
             circuit, chunk, seed=chunk_seed, packed_output=True
         )
@@ -299,3 +377,7 @@ def logical_error_rate(
         )
         total += result.per_round
     return total
+
+
+#: Backwards-compatible alias (pre-sweep-runner name).
+_chunk_plan = chunk_plan

@@ -1,0 +1,90 @@
+"""Durable filesystem write primitives.
+
+Everything the crash-safe runtime persists — artifact-cache entries,
+checkpoint journals, benchmark reports — goes through these helpers so
+a process killed at any instant can never leave a *partially written*
+file where a committed one is expected:
+
+* :func:`atomic_write_bytes` / :func:`atomic_write_text` write to a
+  temporary sibling in the destination directory, flush + fsync it,
+  then publish with ``os.replace`` — readers see either the old
+  content or the complete new content, never a truncation.
+* :func:`durable_append` appends one record to an append-only log and
+  fsyncs before returning.  A crash mid-append can leave at most one
+  torn record at the *tail* of the file; log readers are expected to
+  tolerate (skip) a torn tail, which is exactly what
+  :mod:`repro.sweep.journal` does.
+
+``fsync`` of the containing directory after a rename is best-effort:
+it is what makes the rename itself durable across power loss, but some
+filesystems refuse ``open(O_RDONLY)`` on directories, in which case the
+entry survives process crashes (the threat model here) regardless.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "durable_append"]
+
+
+def _fsync_dir(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` all-or-nothing (temp + ``os.replace``).
+
+    The temporary carries the pid and a random suffix so concurrent
+    writers of the same path never collide; last publisher wins, and
+    every intermediate state on disk is a complete file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+    try:
+        with open(tmp, "wb") as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(path.parent)
+
+
+def atomic_write_text(
+    path: str | os.PathLike, text: str, *, encoding: str = "utf-8"
+) -> None:
+    """Text-mode :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def durable_append(path: str | os.PathLike, line: str) -> None:
+    """Append ``line`` (newline added if missing) and fsync.
+
+    The single ``write`` call keeps the torn-write window to the tail
+    of this one record; by the time this returns, the record is on
+    disk and survives a SIGKILL of the appender.
+    """
+    if not line.endswith("\n"):
+        line += "\n"
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(line)
+        f.flush()
+        os.fsync(f.fileno())

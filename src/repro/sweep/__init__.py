@@ -1,0 +1,41 @@
+"""Checkpointed, resumable, fault-tolerant Monte-Carlo sweeps.
+
+The crash-safe substrate for figure-scale evaluation (fig. 11–14,
+table 2): :func:`run_sweep` shards a grid of ``(distance, p, basis,
+scenario)`` cells into chunk-level work units, durably journals each
+completed chunk (:mod:`repro.sweep.journal`), and on restart skips
+journaled chunks so the merged counts are bit-identical to an
+uninterrupted run with the same seed.  Build products are shared
+through the content-keyed artifact store (:mod:`repro.store`), chunk
+execution retries with backoff under an optional wall-clock budget,
+and the forked decode pool underneath degrades shard-by-shard to
+serial decoding when workers die (:mod:`repro.decode.base`).
+"""
+
+from repro.sweep.journal import JOURNAL_FORMAT, append_record, read_journal
+from repro.sweep.runner import (
+    CellResult,
+    ChunkTimeout,
+    SweepCell,
+    SweepError,
+    SweepResult,
+    SweepSpec,
+    SweepSpecMismatch,
+    cell_seed,
+    run_sweep,
+)
+
+__all__ = [
+    "JOURNAL_FORMAT",
+    "append_record",
+    "read_journal",
+    "SweepCell",
+    "SweepSpec",
+    "CellResult",
+    "SweepResult",
+    "SweepError",
+    "SweepSpecMismatch",
+    "ChunkTimeout",
+    "cell_seed",
+    "run_sweep",
+]

@@ -1,0 +1,239 @@
+"""End-to-end crash safety: SIGKILL, dead workers, corrupt caches.
+
+The acceptance gates of the crash-safe runtime, exercised with real
+process kills rather than mocks:
+
+* a sweep SIGKILLed mid-run resumes from its journal and merges
+  bit-identically with a never-interrupted run;
+* a forked decode worker killed (or hung) mid-shard degrades that
+  shard to serial decoding with identical predictions, and the pool is
+  always reaped — even when the parent's side raises;
+* a corrupted artifact-cache entry is quarantined and rebuilt
+  transparently underneath the evaluation layer.
+"""
+
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.decode.base as decode_base
+import repro.eval.montecarlo as mc
+from repro.decode import MatchingDecoder
+from repro.sim import NoiseModel, build_dem, memory_circuit, sample_detectors
+from repro.store import ArtifactStore, using_store
+from repro.surface import rotated_surface_code
+from repro.sweep import SweepCell, SweepSpec, read_journal, run_sweep
+
+pytestmark = pytest.mark.fault_injection
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def kill_spec():
+    """8 chunks across two cells; literals mirrored in _DRIVER."""
+    return SweepSpec(
+        cells=(
+            SweepCell(distance=3, p=0.02, rounds=3, shots=240),
+            SweepCell(distance=3, p=0.04, rounds=3, shots=240),
+        ),
+        seed=23,
+        chunk_shots=60,
+    )
+
+
+#: Runs kill_spec() in a separate interpreter, throttled so the parent
+#: can SIGKILL it between chunk commits.  argv: sweep_dir, src_path.
+_DRIVER = textwrap.dedent(
+    """
+    import sys, time
+    sys.path.insert(0, sys.argv[2])
+    from repro.sweep import SweepCell, SweepSpec, run_sweep
+    spec = SweepSpec(
+        cells=(
+            SweepCell(distance=3, p=0.02, rounds=3, shots=240),
+            SweepCell(distance=3, p=0.04, rounds=3, shots=240),
+        ),
+        seed=23,
+        chunk_shots=60,
+    )
+    run_sweep(spec, sys.argv[1], chunk_hook=lambda r: time.sleep(0.3))
+    """
+)
+
+
+class TestKillAndResume:
+    def test_sigkill_mid_sweep_resumes_bit_identical(self, tmp_path):
+        spec = kill_spec()
+        script = tmp_path / "driver.py"
+        script.write_text(_DRIVER)
+        sweep_dir = tmp_path / "sweep"
+        journal = sweep_dir / "journal.jsonl"
+
+        proc = subprocess.Popen(
+            [sys.executable, str(script), str(sweep_dir), str(SRC)],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 120
+            while True:
+                records, _ = read_journal(journal)
+                chunks = [r for r in records if r.get("type") == "chunk"]
+                if len(chunks) >= 2:
+                    break
+                if proc.poll() is not None:
+                    pytest.fail(
+                        "sweep finished before it could be killed "
+                        f"(rc={proc.returncode})"
+                    )
+                if time.monotonic() > deadline:
+                    pytest.fail("no chunk records appeared within 120s")
+                time.sleep(0.02)
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+
+        # Resume replays only the chunks the victim never committed...
+        resumed = run_sweep(spec, sweep_dir)
+        assert resumed.resumed_chunks >= 2
+        assert resumed.executed_chunks == 8 - resumed.resumed_chunks
+
+        # ...and the merged counts match a never-interrupted run.
+        pristine = run_sweep(spec, tmp_path / "pristine")
+        assert pristine.executed_chunks == 8
+        assert [r.errors for r in resumed.cells] == [
+            r.errors for r in pristine.cells
+        ]
+        assert [r.shots for r in resumed.cells] == [240, 240]
+
+
+def pool_workload(shots=4000):
+    """A d=3 batch dense enough to clear the sharding floor."""
+    patch = rotated_surface_code(3)
+    circuit = memory_circuit(patch.code, "Z", 10, NoiseModel.uniform(8e-3))
+    dem = build_dem(circuit)
+    detectors, _ = sample_detectors(circuit, shots, seed=5)
+    return dem, detectors
+
+
+class TestPoolFaultTolerance:
+    def test_killed_worker_falls_back_to_serial(self):
+        dem, detectors = pool_workload()
+        serial = MatchingDecoder(dem).decode_batch(detectors)
+
+        victim = MatchingDecoder(dem)
+
+        def kill_shard_zero(shard_index):
+            if shard_index == 0:
+                os.kill(os.getpid(), signal.SIGKILL)
+
+        decode_base._WORKER_FAULT = kill_shard_zero
+        try:
+            parallel = victim.decode_batch(detectors, workers=2)
+        finally:
+            decode_base._WORKER_FAULT = None
+
+        assert victim.pool_failures == 1
+        np.testing.assert_array_equal(parallel, serial)
+        assert multiprocessing.active_children() == []
+
+    def test_hung_worker_times_out_to_serial(self):
+        dem, detectors = pool_workload()
+        serial = MatchingDecoder(dem).decode_batch(detectors)
+
+        victim = MatchingDecoder(dem)
+        victim.pool_timeout = 0.3
+
+        def hang_shard_one(shard_index):
+            if shard_index == 1:
+                time.sleep(600)
+
+        decode_base._WORKER_FAULT = hang_shard_one
+        try:
+            t0 = time.monotonic()
+            parallel = victim.decode_batch(detectors, workers=2)
+            elapsed = time.monotonic() - t0
+        finally:
+            decode_base._WORKER_FAULT = None
+
+        assert victim.pool_failures == 1
+        assert elapsed < 60  # the budget interrupted the hang
+        np.testing.assert_array_equal(parallel, serial)
+        assert multiprocessing.active_children() == []
+
+    def test_pool_reaped_when_parent_raises(self, monkeypatch):
+        dem, detectors = pool_workload()
+        victim = MatchingDecoder(dem)
+
+        def boom(proc, conn, expected):
+            raise RuntimeError("collect failed")
+
+        monkeypatch.setattr(victim, "_collect_shard", boom)
+        with pytest.raises(RuntimeError, match="collect failed"):
+            victim.decode_batch(detectors, workers=2)
+        # The finally block terminated and joined every worker and
+        # cleared the fork-inheritance global.
+        assert multiprocessing.active_children() == []
+        assert decode_base._POOL_DECODER is None
+
+
+class TestArtifactCorruptionEndToEnd:
+    def test_corrupt_dem_entry_quarantined_and_rebuilt(self, tmp_path):
+        code = rotated_surface_code(3).code
+        noise = NoiseModel.uniform(0.02)
+        kwargs = dict(rounds=3, shots=200, seed=9)
+        store = ArtifactStore(tmp_path / "store")
+
+        with using_store(store):
+            mc._DECODER_CACHE.clear()
+            first = mc.memory_experiment(code, "Z", noise, **kwargs)
+            entries = list((store.root / "objects" / "dem").rglob("*.art"))
+            assert len(entries) == 1
+
+            raw = bytearray(entries[0].read_bytes())
+            raw[-5] ^= 0xFF  # bit-rot in the pickled payload
+            entries[0].write_bytes(bytes(raw))
+
+            # A fresh process (simulated by clearing the in-process
+            # memo) must detect the damage, rebuild, and agree exactly.
+            mc._DECODER_CACHE.clear()
+            second = mc.memory_experiment(code, "Z", noise, **kwargs)
+
+        assert first == second
+        assert store.corrupt == 1
+        assert list((store.root / "quarantine").glob("*.art"))
+        # A healthy replacement entry was republished.
+        rebuilt = list((store.root / "objects" / "dem").rglob("*.art"))
+        assert len(rebuilt) == 1
+
+    def test_truncated_matrices_entry_rebuilt(self, tmp_path):
+        code = rotated_surface_code(3).code
+        noise = NoiseModel.uniform(0.02)
+        kwargs = dict(rounds=3, shots=200, seed=9)
+        store = ArtifactStore(tmp_path / "store")
+
+        with using_store(store):
+            mc._DECODER_CACHE.clear()
+            first = mc.memory_experiment(code, "Z", noise, **kwargs)
+            entries = list(
+                (store.root / "objects" / "path_matrices").rglob("*.art")
+            )
+            assert len(entries) == 1
+            entries[0].write_bytes(entries[0].read_bytes()[:50])
+
+            mc._DECODER_CACHE.clear()
+            second = mc.memory_experiment(code, "Z", noise, **kwargs)
+
+        assert first == second
+        assert store.corrupt == 1

@@ -1,0 +1,236 @@
+"""Artifact store: atomic persistence, verification, quarantine."""
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.sim import NoiseModel
+from repro.store import (
+    ArtifactStore,
+    atomic_write_bytes,
+    atomic_write_text,
+    durable_append,
+    get_store,
+    key_digest,
+    set_store,
+    using_store,
+)
+
+pytestmark = pytest.mark.fault_injection
+
+
+class TestAtomicWrites:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "nested" / "out.bin"
+        atomic_write_bytes(path, b"abc")
+        assert path.read_bytes() == b"abc"
+        atomic_write_text(path, "later")
+        assert path.read_text() == "later"
+
+    def test_no_temp_debris(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(path, "x" * 4096)
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_failed_publish_preserves_old_content(self, tmp_path, monkeypatch):
+        path = tmp_path / "report.json"
+        atomic_write_text(path, "old")
+
+        # A crash at the publish step (here: os.replace failing) must
+        # leave the committed file untouched and clean up its temp.
+        def boom(src, dst):
+            raise OSError("simulated publish failure")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            atomic_write_text(path, "new")
+        monkeypatch.undo()
+        assert path.read_text() == "old"
+        assert [p.name for p in tmp_path.iterdir()] == ["report.json"]
+
+    def test_durable_append_lines(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        durable_append(log, "one")
+        durable_append(log, "two\n")
+        assert log.read_text() == "one\ntwo\n"
+
+
+class TestKeyDigest:
+    def test_stable_across_set_order(self):
+        a = key_digest(("k", frozenset([(1, "x"), (2, "y"), (3, "z")])))
+        b = key_digest(("k", frozenset([(3, "z"), (1, "x"), (2, "y")])))
+        assert a == b
+
+    def test_distinguishes_content(self):
+        assert key_digest(("a", 1)) != key_digest(("a", 2))
+        assert key_digest(("a", 1.0)) != key_digest(("a", 1.0000000001))
+
+    def test_dataclass_fields_participate(self):
+        assert key_digest(NoiseModel.uniform(1e-3)) != key_digest(
+            NoiseModel.uniform(2e-3)
+        )
+        assert key_digest(NoiseModel.uniform(1e-3)) == key_digest(
+            NoiseModel.uniform(1e-3)
+        )
+
+    def test_collection_types_not_conflated(self):
+        assert key_digest((1, 2)) != key_digest(frozenset([1, 2]))
+
+
+class TestArtifactStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.get("dem", ("k",)) is None
+        store.put("dem", ("k",), {"v": 1})
+        assert store.get("dem", ("k",)) == {"v": 1}
+        assert store.stats()["hits"] == 1
+        assert store.stats()["misses"] == 1
+
+    def test_numpy_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        dist = np.arange(9, dtype=np.float64).reshape(3, 3)
+        parity = np.eye(3, dtype=np.uint8)
+        store.put("path_matrices", "m", (dist, parity))
+        got_dist, got_parity = store.get("path_matrices", "m")
+        np.testing.assert_array_equal(got_dist, dist)
+        np.testing.assert_array_equal(got_parity, parity)
+        assert got_dist.dtype == np.float64 and got_parity.dtype == np.uint8
+
+    def test_get_or_build_builds_once(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        calls = []
+        build = lambda: calls.append(1) or 41 + len(calls)  # noqa: E731
+        assert store.get_or_build("x", "k", build) == 42
+        assert store.get_or_build("x", "k", build) == 42
+        assert len(calls) == 1
+
+    def _entry_file(self, store):
+        files = list((store.root / "objects").rglob("*.art"))
+        assert len(files) == 1
+        return files[0]
+
+    def test_bitflip_quarantined_and_rebuilt(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("dem", "k", list(range(100)))
+        entry = self._entry_file(store)
+        raw = bytearray(entry.read_bytes())
+        raw[-10] ^= 0x40  # flip one payload bit
+        entry.write_bytes(bytes(raw))
+
+        assert store.get("dem", "k") is None  # detected, not crashed
+        assert not entry.exists()  # moved aside
+        quarantined = list((tmp_path / "quarantine").glob("*.art"))
+        assert len(quarantined) == 1
+        reason = quarantined[0].with_suffix(".reason").read_text()
+        assert "checksum" in reason
+        # The caller's rebuild path repopulates the same key.
+        assert store.get_or_build("dem", "k", lambda: "rebuilt") == "rebuilt"
+        assert store.get("dem", "k") == "rebuilt"
+        assert store.corrupt == 1
+
+    def test_truncation_quarantined(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("dem", "k", b"x" * 1000)
+        entry = self._entry_file(store)
+        entry.write_bytes(entry.read_bytes()[:-100])
+        assert store.get("dem", "k") is None
+        assert "truncated" in next(
+            (tmp_path / "quarantine").glob("*.reason")
+        ).read_text()
+
+    def test_empty_and_garbage_files_quarantined(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for content in (b"", b"not a header at all\x00\xff"):
+            store.put("dem", "k", 1)
+            entry = self._entry_file(store)
+            entry.write_bytes(content)
+            assert store.get("dem", "k") is None
+        assert store.corrupt == 2
+
+    def test_header_key_mismatch_rejected(self, tmp_path):
+        # An entry copied to the wrong path must not be trusted.
+        store = ArtifactStore(tmp_path)
+        store.put("dem", "a", "value-for-a")
+        entry = self._entry_file(store)
+        wrong = store._entry_path("dem", key_digest("b"))
+        wrong.parent.mkdir(parents=True, exist_ok=True)
+        entry.rename(wrong)
+        assert store.get("dem", "b") is None
+        assert store.corrupt == 1
+
+    def test_unwritable_store_degrades_to_miss(self, tmp_path):
+        # A plain file squatting on objects/ makes every entry path
+        # uncreatable — the environment failure mode (root-proof, unlike
+        # chmod).  The cache must degrade to a pass-through, not crash.
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / "objects").write_text("not a directory")
+        store = ArtifactStore(root)
+        assert store.put("dem", "k", 1) is False
+        assert store.get("dem", "k") is None
+        assert store.get_or_build("dem", "k", lambda: 7) == 7
+        assert store.write_errors > 0
+
+    def test_strict_store_raises_on_write_error(self, tmp_path):
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / "objects").write_text("not a directory")
+        with pytest.raises(OSError):
+            ArtifactStore(root, strict=True).put("dem", "k", 1)
+
+    def test_header_json_is_first_line(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("dem", "k", {"payload": True})
+        entry = self._entry_file(store)
+        header = json.loads(entry.read_bytes().split(b"\n", 1)[0])
+        assert header["kind"] == "dem"
+        assert header["payload_len"] > 0
+
+
+class TestGlobalStore:
+    @pytest.fixture(autouse=True)
+    def _pristine_store_config(self, monkeypatch):
+        import repro.store as store_mod
+
+        monkeypatch.setattr(store_mod, "_ACTIVE_STORE", store_mod._UNSET)
+        monkeypatch.setattr(store_mod, "_ENV_STORE", None)
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+
+    def test_set_and_clear(self, tmp_path):
+        set_store(tmp_path)
+        store = get_store()
+        assert isinstance(store, ArtifactStore)
+        set_store(None)
+        assert get_store() is None
+
+    def test_using_store_scopes_and_restores(self, tmp_path):
+        assert get_store() is None
+        with using_store(tmp_path) as store:
+            assert get_store() is store
+        assert get_store() is None
+
+    def test_env_store_memoised(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        assert get_store() is get_store()
+
+    def test_concurrent_writers_last_wins_complete_file(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        errors = []
+
+        def write(i):
+            try:
+                store.put("dem", "shared", list(range(i, i + 50)))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        value = store.get("dem", "shared")
+        assert value is not None and len(value) == 50
