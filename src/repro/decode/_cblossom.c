@@ -1,0 +1,1433 @@
+/* _cblossom: compiled blossom_core kernel.
+ *
+ * A statement-for-statement port of the pure-Python primal-dual blossom
+ * engine in repro/decode/blossom.py (`_blossom_core_py`, Galil's
+ * formulation of Edmonds' algorithm).  The port preserves the engine's
+ * determinism contract exactly:
+ *
+ *   - identical scan order (free vertices in ascending index order, the
+ *     queue popped LIFO, edges enumerated in input order),
+ *   - identical tie-breaking (every `<` comparison is strict in the same
+ *     places),
+ *   - identical IEEE-754 double arithmetic: the slack and delta
+ *     expressions associate exactly as the Python source does, and the
+ *     build compiles with -ffp-contract=off so no FMA contraction can
+ *     change rounding.
+ *
+ * Mates and duals are therefore bit-identical to the pure engine on
+ * every input; tests/test_blossom_kernel.py pins this with a hypothesis
+ * property suite.  The module deliberately uses only the Python buffer
+ * protocol (no numpy C API), so it builds against any contiguous
+ * int64/float64 arrays and needs no numpy headers.
+ *
+ * Entry point (consumed by repro.decode.blossom.blossom_core, never
+ * called directly by user code):
+ *
+ *   blossom_core(n, edge_i, edge_j, edge_w, jumpstart, mate_out, dual_out)
+ *
+ * where edge_i/edge_j are contiguous int64 buffers of length m, edge_w
+ * a contiguous float64 buffer of length m, mate_out a writable int64
+ * buffer of length n (filled with partner vertex ids or -1) and
+ * dual_out a writable float64 buffer of length 2n (final vertex and
+ * blossom duals).  Requires n >= 1 and m >= 1 (the wrapper handles the
+ * empty cases).
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#include <limits.h>
+#include <math.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define EPS 1e-9
+
+/* ------------------------------------------------------------------ */
+/* Growable int vector (list-of-int stand-in).                         */
+
+typedef struct {
+    int *data;
+    int len;
+    int cap;
+} ivec;
+
+static int
+ivec_init(ivec *v, int cap)
+{
+    if (cap < 4) {
+        cap = 4;
+    }
+    v->data = (int *)malloc((size_t)cap * sizeof(int));
+    v->len = 0;
+    v->cap = cap;
+    return v->data != NULL;
+}
+
+static void
+ivec_free(ivec *v)
+{
+    free(v->data);
+    v->data = NULL;
+    v->len = v->cap = 0;
+}
+
+static int
+ivec_push(ivec *v, int x)
+{
+    if (v->len == v->cap) {
+        int cap = v->cap * 2;
+        int *data = (int *)realloc(v->data, (size_t)cap * sizeof(int));
+        if (data == NULL) {
+            return 0;
+        }
+        v->data = data;
+        v->cap = cap;
+    }
+    v->data[v->len++] = x;
+    return 1;
+}
+
+static ivec *
+ivec_new(int cap)
+{
+    ivec *v = (ivec *)malloc(sizeof(ivec));
+    if (v == NULL) {
+        return NULL;
+    }
+    if (!ivec_init(v, cap)) {
+        free(v);
+        return NULL;
+    }
+    return v;
+}
+
+static void
+ivec_del(ivec **slot)
+{
+    if (*slot != NULL) {
+        ivec_free(*slot);
+        free(*slot);
+        *slot = NULL;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Engine state.                                                       */
+
+typedef struct {
+    int n;      /* vertices */
+    int m;      /* edges */
+    int *edge_i;
+    int *edge_j;
+    const double *edge_w;
+    int *endpoint;      /* [2m] vertex at endpoint p */
+    int *nb_off;        /* [n+1] CSR offsets into nb */
+    int *nb;            /* [2m] remote endpoints per vertex, input order */
+    double *dualvar;    /* [2n] */
+    int *mate;          /* [n] endpoint codes, -1 = free */
+    int *label;         /* [2n] */
+    int *labelend;      /* [2n] */
+    int *inblossom;     /* [n] */
+    int *blossomparent; /* [2n] */
+    int *blossombase;   /* [2n] */
+    int *bestedge;      /* [2n] */
+    char *allowedge;    /* [m] */
+    ivec **blossomchilds;     /* [2n], NULL or list */
+    ivec **blossomendps;      /* [2n], NULL or list */
+    ivec **blossombestedges;  /* [2n], NULL or list */
+    ivec unused;        /* free blossom ids, popped LIFO */
+    ivec queue;         /* S-vertex scan stack, popped LIFO */
+    int *leafbuf_a;     /* [n] scratch: assign_label leaves */
+    int *leafbuf_b;     /* [n] scratch: add/expand blossom leaves */
+    int *scanpath;      /* [2n] scratch: scan_blossom visited list */
+    int *bestedgeto;    /* [2n] scratch: add_blossom best-edge merge */
+    int *pathbuf;       /* [2n+1] scratch: add_blossom child path */
+    int *endpsbuf;      /* [2n+1] scratch: add_blossom endpoints */
+    int *rotbuf;        /* [2n] scratch: augment_blossom rotation */
+    int oom;            /* allocation failure flag */
+} state;
+
+static double
+slack_of(const state *st, int k)
+{
+    return st->dualvar[st->edge_i[k]] + st->dualvar[st->edge_j[k]]
+        - 2.0 * st->edge_w[k];
+}
+
+/* Python negative list indexing: idx in [-len, len). */
+static int
+wrapi(int idx, int len)
+{
+    return idx < 0 ? idx + len : idx;
+}
+
+/* DFS leaf collection, preserving the generator's yield order. */
+static int
+leaves_fill(const state *st, int b, int *out)
+{
+    if (b < st->n) {
+        out[0] = b;
+        return 1;
+    }
+    int cnt = 0;
+    const ivec *ch = st->blossomchilds[b];
+    for (int t = 0; t < ch->len; t++) {
+        int c = ch->data[t];
+        if (c < st->n) {
+            out[cnt++] = c;
+        }
+        else {
+            cnt += leaves_fill(st, c, out + cnt);
+        }
+    }
+    return cnt;
+}
+
+static void
+assign_label(state *st, int w, int t, int p)
+{
+    int b = st->inblossom[w];
+    st->label[w] = t;
+    st->label[b] = t;
+    st->labelend[w] = p;
+    st->labelend[b] = p;
+    st->bestedge[w] = -1;
+    st->bestedge[b] = -1;
+    if (t == 1) {
+        if (b < st->n) {
+            if (!ivec_push(&st->queue, b)) {
+                st->oom = 1;
+            }
+        }
+        else {
+            int cnt = leaves_fill(st, b, st->leafbuf_a);
+            for (int i = 0; i < cnt; i++) {
+                if (!ivec_push(&st->queue, st->leafbuf_a[i])) {
+                    st->oom = 1;
+                    return;
+                }
+            }
+        }
+    }
+    else {
+        int base = st->blossombase[b];
+        assign_label(st, st->endpoint[st->mate[base]], 1, st->mate[base] ^ 1);
+    }
+}
+
+static int
+scan_blossom(state *st, int v, int w)
+{
+    int pathlen = 0;
+    int base = -1;
+    while (v != -1 || w != -1) {
+        int b = st->inblossom[v];
+        if (st->label[b] & 4) {
+            base = st->blossombase[b];
+            break;
+        }
+        st->scanpath[pathlen++] = b;
+        st->label[b] = 5;
+        if (st->labelend[b] == -1) {
+            v = -1;
+        }
+        else {
+            v = st->endpoint[st->labelend[b]];
+            b = st->inblossom[v];
+            v = st->endpoint[st->labelend[b]];
+        }
+        if (w != -1) {
+            int tmp = v;
+            v = w;
+            w = tmp;
+        }
+    }
+    for (int i = 0; i < pathlen; i++) {
+        st->label[st->scanpath[i]] = 1;
+    }
+    return base;
+}
+
+static void
+add_blossom(state *st, int base, int k)
+{
+    int n = st->n;
+    int v = st->edge_i[k];
+    int w = st->edge_j[k];
+    int bb = st->inblossom[base];
+    int bv = st->inblossom[v];
+    int bw = st->inblossom[w];
+    int b = st->unused.data[--st->unused.len];
+    st->blossombase[b] = base;
+    st->blossomparent[b] = -1;
+    st->blossomparent[bb] = b;
+    int plen = 0;
+    int elen = 0;
+    while (bv != bb) { /* trace from v down to the base */
+        st->blossomparent[bv] = b;
+        st->pathbuf[plen++] = bv;
+        st->endpsbuf[elen++] = st->labelend[bv];
+        v = st->endpoint[st->labelend[bv]];
+        bv = st->inblossom[v];
+    }
+    st->pathbuf[plen++] = bb;
+    /* path.reverse(); endps.reverse(); endps.append(2k) */
+    for (int i = 0, j = plen - 1; i < j; i++, j--) {
+        int tmp = st->pathbuf[i];
+        st->pathbuf[i] = st->pathbuf[j];
+        st->pathbuf[j] = tmp;
+    }
+    for (int i = 0, j = elen - 1; i < j; i++, j--) {
+        int tmp = st->endpsbuf[i];
+        st->endpsbuf[i] = st->endpsbuf[j];
+        st->endpsbuf[j] = tmp;
+    }
+    st->endpsbuf[elen++] = 2 * k;
+    while (bw != bb) { /* trace from w down to the base */
+        st->blossomparent[bw] = b;
+        st->pathbuf[plen++] = bw;
+        st->endpsbuf[elen++] = st->labelend[bw] ^ 1;
+        w = st->endpoint[st->labelend[bw]];
+        bw = st->inblossom[w];
+    }
+    ivec *childs = ivec_new(plen);
+    ivec *endps = ivec_new(elen);
+    if (childs == NULL || endps == NULL) {
+        st->oom = 1;
+        ivec_del(&childs);
+        ivec_del(&endps);
+        return;
+    }
+    memcpy(childs->data, st->pathbuf, (size_t)plen * sizeof(int));
+    childs->len = plen;
+    memcpy(endps->data, st->endpsbuf, (size_t)elen * sizeof(int));
+    endps->len = elen;
+    st->blossomchilds[b] = childs;
+    st->blossomendps[b] = endps;
+    st->label[b] = 1;
+    st->labelend[b] = st->labelend[bb];
+    st->dualvar[b] = 0.0;
+    int cnt = leaves_fill(st, b, st->leafbuf_b);
+    for (int i = 0; i < cnt; i++) {
+        int leaf = st->leafbuf_b[i];
+        if (st->label[st->inblossom[leaf]] == 2) {
+            /* Former T-vertices become S and must be scanned. */
+            if (!ivec_push(&st->queue, leaf)) {
+                st->oom = 1;
+                return;
+            }
+        }
+        st->inblossom[leaf] = b;
+    }
+    /* Merge the children's best-edge lists into the new blossom's. */
+    for (int i = 0; i < 2 * n; i++) {
+        st->bestedgeto[i] = -1;
+    }
+    for (int ci = 0; ci < childs->len; ci++) {
+        int bv2 = childs->data[ci];
+        ivec *stored = st->blossombestedges[bv2];
+        if (stored == NULL) {
+            int lcnt = leaves_fill(st, bv2, st->leafbuf_b);
+            for (int li = 0; li < lcnt; li++) {
+                int leaf = st->leafbuf_b[li];
+                for (int pi = st->nb_off[leaf]; pi < st->nb_off[leaf + 1];
+                     pi++) {
+                    int k2 = st->nb[pi] >> 1;
+                    int i2 = st->edge_i[k2];
+                    int j2 = st->edge_j[k2];
+                    if (st->inblossom[j2] == b) {
+                        int tmp = i2;
+                        i2 = j2;
+                        j2 = tmp;
+                    }
+                    int bj = st->inblossom[j2];
+                    if (bj != b && st->label[bj] == 1
+                        && (st->bestedgeto[bj] == -1
+                            || slack_of(st, k2)
+                                < slack_of(st, st->bestedgeto[bj]))) {
+                        st->bestedgeto[bj] = k2;
+                    }
+                }
+            }
+        }
+        else {
+            for (int si = 0; si < stored->len; si++) {
+                int k2 = stored->data[si];
+                int i2 = st->edge_i[k2];
+                int j2 = st->edge_j[k2];
+                if (st->inblossom[j2] == b) {
+                    int tmp = i2;
+                    i2 = j2;
+                    j2 = tmp;
+                }
+                int bj = st->inblossom[j2];
+                if (bj != b && st->label[bj] == 1
+                    && (st->bestedgeto[bj] == -1
+                        || slack_of(st, k2)
+                            < slack_of(st, st->bestedgeto[bj]))) {
+                    st->bestedgeto[bj] = k2;
+                }
+            }
+        }
+        ivec_del(&st->blossombestedges[bv2]);
+        st->bestedge[bv2] = -1;
+    }
+    ivec *best = ivec_new(8);
+    if (best == NULL) {
+        st->oom = 1;
+        return;
+    }
+    for (int i = 0; i < 2 * n; i++) {
+        if (st->bestedgeto[i] != -1) {
+            if (!ivec_push(best, st->bestedgeto[i])) {
+                st->oom = 1;
+                ivec_del(&best);
+                return;
+            }
+        }
+    }
+    st->blossombestedges[b] = best;
+    st->bestedge[b] = -1;
+    for (int i = 0; i < best->len; i++) {
+        int k2 = best->data[i];
+        if (st->bestedge[b] == -1
+            || slack_of(st, k2) < slack_of(st, st->bestedge[b])) {
+            st->bestedge[b] = k2;
+        }
+    }
+}
+
+static void
+expand_blossom(state *st, int b, int endstage)
+{
+    int n = st->n;
+    ivec *childs = st->blossomchilds[b];
+    for (int ci = 0; ci < childs->len; ci++) {
+        int s = childs->data[ci];
+        st->blossomparent[s] = -1;
+        if (s < n) {
+            st->inblossom[s] = s;
+        }
+        else if (endstage && st->dualvar[s] < EPS) {
+            expand_blossom(st, s, endstage);
+        }
+        else {
+            int cnt = leaves_fill(st, s, st->leafbuf_b);
+            for (int i = 0; i < cnt; i++) {
+                st->inblossom[st->leafbuf_b[i]] = s;
+            }
+        }
+    }
+    if (!endstage && st->label[b] == 2) {
+        /* The expanding blossom sits on an alternating path; relabel
+         * the children between its entry child and its base. */
+        int entrychild =
+            st->inblossom[st->endpoint[st->labelend[b] ^ 1]];
+        childs = st->blossomchilds[b];
+        ivec *endps = st->blossomendps[b];
+        int len = childs->len;
+        int j = 0;
+        while (childs->data[j] != entrychild) {
+            j++;
+        }
+        int jstep, endptrick;
+        if (j & 1) { /* entry at odd index: walk forward with wrap */
+            j -= len;
+            jstep = 1;
+            endptrick = 0;
+        }
+        else { /* entry at even index: walk backward */
+            jstep = -1;
+            endptrick = 1;
+        }
+        int p = st->labelend[b];
+        while (j != 0) {
+            /* Relabel the T-sub-blossom we step through. */
+            st->label[st->endpoint[p ^ 1]] = 0;
+            int ep = endps->data[wrapi(j - endptrick, len)];
+            st->label[st->endpoint[ep ^ endptrick ^ 1]] = 0;
+            assign_label(st, st->endpoint[p ^ 1], 2, p);
+            if (st->oom) {
+                return;
+            }
+            st->allowedge[ep >> 1] = 1;
+            j += jstep;
+            p = endps->data[wrapi(j - endptrick, len)] ^ endptrick;
+            st->allowedge[p >> 1] = 1;
+            j += jstep;
+        }
+        /* The base child keeps label T without recursing to its mate. */
+        int bv = childs->data[wrapi(j, len)];
+        st->label[st->endpoint[p ^ 1]] = 2;
+        st->label[bv] = 2;
+        st->labelend[st->endpoint[p ^ 1]] = p;
+        st->labelend[bv] = p;
+        st->bestedge[bv] = -1;
+        /* Children outside the entry->base path become free, unless
+         * some vertex inside already carries a label. */
+        j += jstep;
+        while (childs->data[wrapi(j, len)] != entrychild) {
+            bv = childs->data[wrapi(j, len)];
+            if (st->label[bv] == 1) {
+                j += jstep;
+                continue;
+            }
+            int cnt = leaves_fill(st, bv, st->leafbuf_b);
+            int leaf = -1;
+            for (int i = 0; i < cnt; i++) {
+                leaf = st->leafbuf_b[i];
+                if (st->label[leaf] != 0) {
+                    break;
+                }
+            }
+            /* `leaf` is the first labeled leaf, or the last leaf when
+             * none is labeled — the Python loop-variable semantics. */
+            if (st->label[leaf] != 0) {
+                st->label[leaf] = 0;
+                st->label[st->endpoint[st->mate[st->blossombase[bv]]]] = 0;
+                assign_label(st, leaf, 2, st->labelend[leaf]);
+                if (st->oom) {
+                    return;
+                }
+            }
+            j += jstep;
+        }
+    }
+    st->label[b] = -1;
+    st->labelend[b] = -1;
+    ivec_del(&st->blossomchilds[b]);
+    ivec_del(&st->blossomendps[b]);
+    st->blossombase[b] = -1;
+    ivec_del(&st->blossombestedges[b]);
+    st->bestedge[b] = -1;
+    if (!ivec_push(&st->unused, b)) {
+        st->oom = 1;
+    }
+}
+
+static void
+augment_blossom(state *st, int b, int v)
+{
+    int n = st->n;
+    int t = v;
+    while (st->blossomparent[t] != b) {
+        t = st->blossomparent[t];
+    }
+    if (t >= n) {
+        augment_blossom(st, t, v);
+    }
+    ivec *childs = st->blossomchilds[b];
+    ivec *endps = st->blossomendps[b];
+    int len = childs->len;
+    int i = 0;
+    while (childs->data[i] != t) {
+        i++;
+    }
+    int j = i;
+    int jstep, endptrick;
+    if (i & 1) {
+        j -= len;
+        jstep = 1;
+        endptrick = 0;
+    }
+    else {
+        jstep = -1;
+        endptrick = 1;
+    }
+    while (j != 0) {
+        j += jstep;
+        t = childs->data[wrapi(j, len)];
+        int p = endps->data[wrapi(j - endptrick, len)] ^ endptrick;
+        if (t >= n) {
+            augment_blossom(st, t, st->endpoint[p]);
+        }
+        j += jstep;
+        t = childs->data[wrapi(j, len)];
+        if (t >= n) {
+            augment_blossom(st, t, st->endpoint[p ^ 1]);
+        }
+        st->mate[st->endpoint[p]] = p ^ 1;
+        st->mate[st->endpoint[p ^ 1]] = p;
+    }
+    /* childs = childs[i:] + childs[:i]; same for endps. */
+    if (i > 0) {
+        memcpy(st->rotbuf, childs->data, (size_t)len * sizeof(int));
+        for (int x = 0; x < len; x++) {
+            childs->data[x] = st->rotbuf[(x + i) % len];
+        }
+        memcpy(st->rotbuf, endps->data, (size_t)len * sizeof(int));
+        for (int x = 0; x < len; x++) {
+            endps->data[x] = st->rotbuf[(x + i) % len];
+        }
+    }
+    st->blossombase[b] = st->blossombase[childs->data[0]];
+}
+
+static void
+augment_matching(state *st, int k)
+{
+    int n = st->n;
+    for (int side = 0; side < 2; side++) {
+        int s = side == 0 ? st->edge_i[k] : st->edge_j[k];
+        int p = side == 0 ? 2 * k + 1 : 2 * k;
+        for (;;) {
+            int bs = st->inblossom[s];
+            if (bs >= n) {
+                augment_blossom(st, bs, s);
+            }
+            st->mate[s] = p;
+            if (st->labelend[bs] == -1) {
+                break; /* reached a forest root */
+            }
+            int t = st->endpoint[st->labelend[bs]];
+            int bt = st->inblossom[t];
+            s = st->endpoint[st->labelend[bt]];
+            int j = st->endpoint[st->labelend[bt] ^ 1];
+            if (bt >= n) {
+                augment_blossom(st, bt, j);
+            }
+            st->mate[j] = st->labelend[bt];
+            p = st->labelend[bt] ^ 1;
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Driver.                                                             */
+
+static int
+run_core(state *st, int jumpstart, double max_weight, int64_t *mate_out,
+         double *dual_out)
+{
+    int n = st->n;
+    int m = st->m;
+
+    if (jumpstart) {
+        /* Greedy matching on initially-tight edges (w == max weight). */
+        double tight = max_weight - EPS;
+        for (int k = 0; k < m; k++) {
+            if (st->edge_w[k] >= tight) {
+                int i = st->edge_i[k];
+                int j = st->edge_j[k];
+                if (st->mate[i] == -1 && st->mate[j] == -1 && i != j) {
+                    st->mate[i] = 2 * k + 1;
+                    st->mate[j] = 2 * k;
+                }
+            }
+        }
+    }
+
+    for (int stage = 0; stage < n; stage++) {
+        memset(st->label, 0, (size_t)(2 * n) * sizeof(int));
+        for (int i = 0; i < 2 * n; i++) {
+            st->bestedge[i] = -1;
+        }
+        for (int b = n; b < 2 * n; b++) {
+            ivec_del(&st->blossombestedges[b]);
+        }
+        memset(st->allowedge, 0, (size_t)m);
+        st->queue.len = 0;
+        for (int v = 0; v < n; v++) {
+            if (st->mate[v] == -1 && st->label[st->inblossom[v]] == 0) {
+                assign_label(st, v, 1, -1);
+                if (st->oom) {
+                    return 0;
+                }
+            }
+        }
+        int augmented = 0;
+        for (;;) {
+            while (st->queue.len > 0 && !augmented) {
+                int v = st->queue.data[--st->queue.len];
+                for (int pi = st->nb_off[v]; pi < st->nb_off[v + 1]; pi++) {
+                    int p = st->nb[pi];
+                    int k = p >> 1;
+                    int w = st->endpoint[p];
+                    if (st->inblossom[v] == st->inblossom[w]) {
+                        continue; /* internal blossom edge */
+                    }
+                    double kslack = 0.0;
+                    if (!st->allowedge[k]) {
+                        kslack = st->dualvar[st->edge_i[k]]
+                            + st->dualvar[st->edge_j[k]]
+                            - 2.0 * st->edge_w[k];
+                        if (kslack <= EPS) {
+                            st->allowedge[k] = 1;
+                        }
+                    }
+                    if (st->allowedge[k]) {
+                        int bw = st->inblossom[w];
+                        if (st->label[bw] == 0) {
+                            assign_label(st, w, 2, p ^ 1);
+                            if (st->oom) {
+                                return 0;
+                            }
+                        }
+                        else if (st->label[bw] == 1) {
+                            int base = scan_blossom(st, v, w);
+                            if (base >= 0) {
+                                add_blossom(st, base, k);
+                                if (st->oom) {
+                                    return 0;
+                                }
+                            }
+                            else {
+                                augment_matching(st, k);
+                                augmented = 1;
+                                break;
+                            }
+                        }
+                        else if (st->label[w] == 0) {
+                            st->label[w] = 2;
+                            st->labelend[w] = p ^ 1;
+                        }
+                    }
+                    else if (st->label[st->inblossom[w]] == 1) {
+                        int b = st->inblossom[v];
+                        int kb = st->bestedge[b];
+                        if (kb == -1 || kslack < slack_of(st, kb)) {
+                            st->bestedge[b] = k;
+                        }
+                    }
+                    else if (st->label[w] == 0) {
+                        int kb = st->bestedge[w];
+                        if (kb == -1 || kslack < slack_of(st, kb)) {
+                            st->bestedge[w] = k;
+                        }
+                    }
+                }
+            }
+            if (augmented) {
+                break;
+            }
+            /* No tight edge to use: compute the dual adjustment. */
+            int deltatype = -1;
+            double delta = 0.0;
+            int deltaedge = -1;
+            int deltablossom = -1;
+            for (int v = 0; v < n; v++) {
+                int kb = st->bestedge[v];
+                if (st->label[st->inblossom[v]] == 0 && kb != -1) {
+                    double d = slack_of(st, kb);
+                    if (deltatype == -1 || d < delta) {
+                        delta = d;
+                        deltatype = 2;
+                        deltaedge = kb;
+                    }
+                }
+            }
+            for (int b = 0; b < 2 * n; b++) {
+                int kb = st->bestedge[b];
+                if (st->blossomparent[b] == -1 && st->label[b] == 1
+                    && kb != -1) {
+                    double d = slack_of(st, kb) / 2.0;
+                    if (deltatype == -1 || d < delta) {
+                        delta = d;
+                        deltatype = 3;
+                        deltaedge = kb;
+                    }
+                }
+            }
+            for (int b = n; b < 2 * n; b++) {
+                if (st->blossombase[b] >= 0 && st->blossomparent[b] == -1
+                    && st->label[b] == 2
+                    && (deltatype == -1 || st->dualvar[b] < delta)) {
+                    delta = st->dualvar[b];
+                    deltatype = 4;
+                    deltablossom = b;
+                }
+            }
+            if (deltatype == -1) {
+                /* Forest saturated: maximum cardinality reached. */
+                deltatype = 1;
+                double mn = st->dualvar[0];
+                for (int v = 1; v < n; v++) {
+                    if (st->dualvar[v] < mn) {
+                        mn = st->dualvar[v];
+                    }
+                }
+                delta = mn < 0.0 ? 0.0 : mn; /* max(0.0, min(...)) */
+            }
+            for (int v = 0; v < n; v++) {
+                int lb = st->label[st->inblossom[v]];
+                if (lb == 1) {
+                    st->dualvar[v] -= delta;
+                }
+                else if (lb == 2) {
+                    st->dualvar[v] += delta;
+                }
+            }
+            for (int b = n; b < 2 * n; b++) {
+                if (st->blossombase[b] >= 0 && st->blossomparent[b] == -1) {
+                    if (st->label[b] == 1) {
+                        st->dualvar[b] += delta;
+                    }
+                    else if (st->label[b] == 2) {
+                        st->dualvar[b] -= delta;
+                    }
+                }
+            }
+            if (deltatype == 1) {
+                break;
+            }
+            if (deltatype == 2) {
+                st->allowedge[deltaedge] = 1;
+                int i2 = st->edge_i[deltaedge];
+                if (st->label[st->inblossom[i2]] == 0) {
+                    i2 = st->edge_j[deltaedge];
+                }
+                if (!ivec_push(&st->queue, i2)) {
+                    return 0;
+                }
+            }
+            else if (deltatype == 3) {
+                st->allowedge[deltaedge] = 1;
+                if (!ivec_push(&st->queue, st->edge_i[deltaedge])) {
+                    return 0;
+                }
+            }
+            else {
+                expand_blossom(st, deltablossom, 0);
+                if (st->oom) {
+                    return 0;
+                }
+            }
+        }
+        if (!augmented) {
+            break;
+        }
+        for (int b = n; b < 2 * n; b++) {
+            if (st->blossomparent[b] == -1 && st->blossombase[b] >= 0
+                && st->label[b] == 1 && st->dualvar[b] < EPS) {
+                expand_blossom(st, b, 1);
+                if (st->oom) {
+                    return 0;
+                }
+            }
+        }
+    }
+
+    for (int v = 0; v < n; v++) {
+        mate_out[v] = st->mate[v] >= 0 ? st->endpoint[st->mate[v]] : -1;
+    }
+    memcpy(dual_out, st->dualvar, (size_t)(2 * n) * sizeof(double));
+    return 1;
+}
+
+/* ------------------------------------------------------------------ */
+/* Allocation / teardown.                                              */
+
+static void
+state_free(state *st)
+{
+    free(st->edge_i);
+    free(st->edge_j);
+    free(st->endpoint);
+    free(st->nb_off);
+    free(st->nb);
+    free(st->dualvar);
+    free(st->mate);
+    free(st->label);
+    free(st->labelend);
+    free(st->inblossom);
+    free(st->blossomparent);
+    free(st->blossombase);
+    free(st->bestedge);
+    free(st->allowedge);
+    free(st->leafbuf_a);
+    free(st->leafbuf_b);
+    free(st->scanpath);
+    free(st->bestedgeto);
+    free(st->pathbuf);
+    free(st->endpsbuf);
+    free(st->rotbuf);
+    if (st->blossomchilds != NULL) {
+        for (int i = 0; i < 2 * st->n; i++) {
+            ivec_del(&st->blossomchilds[i]);
+        }
+        free(st->blossomchilds);
+    }
+    if (st->blossomendps != NULL) {
+        for (int i = 0; i < 2 * st->n; i++) {
+            ivec_del(&st->blossomendps[i]);
+        }
+        free(st->blossomendps);
+    }
+    if (st->blossombestedges != NULL) {
+        for (int i = 0; i < 2 * st->n; i++) {
+            ivec_del(&st->blossombestedges[i]);
+        }
+        free(st->blossombestedges);
+    }
+    ivec_free(&st->unused);
+    ivec_free(&st->queue);
+}
+
+static int
+state_init(state *st, int n, int m, const int64_t *ei64, const int64_t *ej64,
+           const double *ew)
+{
+    memset(st, 0, sizeof(*st));
+    st->n = n;
+    st->m = m;
+    st->edge_w = ew;
+    st->edge_i = (int *)malloc((size_t)m * sizeof(int));
+    st->edge_j = (int *)malloc((size_t)m * sizeof(int));
+    st->endpoint = (int *)malloc((size_t)(2 * m) * sizeof(int));
+    st->nb_off = (int *)calloc((size_t)n + 2, sizeof(int));
+    st->nb = (int *)malloc((size_t)(2 * m) * sizeof(int));
+    st->dualvar = (double *)malloc((size_t)(2 * n) * sizeof(double));
+    st->mate = (int *)malloc((size_t)n * sizeof(int));
+    st->label = (int *)malloc((size_t)(2 * n) * sizeof(int));
+    st->labelend = (int *)malloc((size_t)(2 * n) * sizeof(int));
+    st->inblossom = (int *)malloc((size_t)n * sizeof(int));
+    st->blossomparent = (int *)malloc((size_t)(2 * n) * sizeof(int));
+    st->blossombase = (int *)malloc((size_t)(2 * n) * sizeof(int));
+    st->bestedge = (int *)malloc((size_t)(2 * n) * sizeof(int));
+    st->allowedge = (char *)malloc((size_t)m);
+    st->leafbuf_a = (int *)malloc((size_t)n * sizeof(int));
+    st->leafbuf_b = (int *)malloc((size_t)n * sizeof(int));
+    st->scanpath = (int *)malloc((size_t)(2 * n) * sizeof(int));
+    st->bestedgeto = (int *)malloc((size_t)(2 * n) * sizeof(int));
+    st->pathbuf = (int *)malloc((size_t)(2 * n + 1) * sizeof(int));
+    st->endpsbuf = (int *)malloc((size_t)(2 * n + 1) * sizeof(int));
+    st->rotbuf = (int *)malloc((size_t)(2 * n) * sizeof(int));
+    st->blossomchilds = (ivec **)calloc((size_t)(2 * n), sizeof(ivec *));
+    st->blossomendps = (ivec **)calloc((size_t)(2 * n), sizeof(ivec *));
+    st->blossombestedges = (ivec **)calloc((size_t)(2 * n), sizeof(ivec *));
+    if (st->edge_i == NULL || st->edge_j == NULL || st->endpoint == NULL
+        || st->nb_off == NULL || st->nb == NULL || st->dualvar == NULL
+        || st->mate == NULL || st->label == NULL || st->labelend == NULL
+        || st->inblossom == NULL || st->blossomparent == NULL
+        || st->blossombase == NULL || st->bestedge == NULL
+        || st->allowedge == NULL || st->leafbuf_a == NULL
+        || st->leafbuf_b == NULL || st->scanpath == NULL
+        || st->bestedgeto == NULL || st->pathbuf == NULL
+        || st->endpsbuf == NULL || st->rotbuf == NULL
+        || st->blossomchilds == NULL || st->blossomendps == NULL
+        || st->blossombestedges == NULL || !ivec_init(&st->unused, n)
+        || !ivec_init(&st->queue, n)) {
+        return 0;
+    }
+    for (int k = 0; k < m; k++) {
+        st->edge_i[k] = (int)ei64[k];
+        st->edge_j[k] = (int)ej64[k];
+        st->endpoint[2 * k] = st->edge_i[k];
+        st->endpoint[2 * k + 1] = st->edge_j[k];
+    }
+    /* neighbend as CSR, preserving the per-vertex input order the
+     * Python append loop produces. */
+    for (int k = 0; k < m; k++) {
+        st->nb_off[st->edge_i[k] + 1]++;
+        st->nb_off[st->edge_j[k] + 1]++;
+    }
+    for (int v = 0; v < n; v++) {
+        st->nb_off[v + 1] += st->nb_off[v];
+    }
+    {
+        int *cursor = (int *)malloc((size_t)n * sizeof(int));
+        if (cursor == NULL) {
+            return 0;
+        }
+        memcpy(cursor, st->nb_off, (size_t)n * sizeof(int));
+        for (int k = 0; k < m; k++) {
+            st->nb[cursor[st->edge_i[k]]++] = 2 * k + 1;
+            st->nb[cursor[st->edge_j[k]]++] = 2 * k;
+        }
+        free(cursor);
+    }
+    for (int v = 0; v < n; v++) {
+        st->mate[v] = -1;
+        st->inblossom[v] = v;
+    }
+    for (int i = 0; i < 2 * n; i++) {
+        st->label[i] = 0;
+        st->labelend[i] = -1;
+        st->blossomparent[i] = -1;
+        st->bestedge[i] = -1;
+        st->blossombase[i] = i < n ? i : -1;
+    }
+    for (int b = n; b < 2 * n; b++) {
+        ivec_push(&st->unused, b); /* capacity n preallocated */
+    }
+    return 1;
+}
+
+/* ------------------------------------------------------------------ */
+/* Shared solve helper: init state, seed duals, run the stage loop.    */
+
+static int
+solve_graph(int n, int m, const int64_t *ei, const int64_t *ej,
+            const double *ew, int jumpstart, int64_t *mate_out,
+            double *dual_out)
+{
+    double max_weight = ew[0];
+    for (int k = 1; k < m; k++) {
+        if (ew[k] > max_weight) {
+            max_weight = ew[k];
+        }
+    }
+    state st;
+    int ok = 0;
+    if (state_init(&st, n, m, ei, ej, ew)) {
+        for (int v = 0; v < n; v++) {
+            st.dualvar[v] = max_weight;
+        }
+        for (int b = n; b < 2 * n; b++) {
+            st.dualvar[b] = 0.0;
+        }
+        ok = run_core(&st, jumpstart, max_weight, mate_out, dual_out);
+    }
+    state_free(&st);
+    return ok;
+}
+
+/* ------------------------------------------------------------------ */
+/* Sparse component matcher.                                           */
+/*                                                                     */
+/* A statement-for-statement port of sparse_match + sparse_match_parity
+ * in repro/decode/sparse_match.py: kNN candidate seeding (the c
+ * smallest (weight, index) partners per defect, the stable-argsort
+ * order the Python seeder uses), a jumpstarted blossom solve over the
+ * candidate edges plus the boundary star, and the dual-certificate
+ * repair loop that re-adds any withheld pair with negative transformed
+ * slack (or the whole star of an uncovered defect) until the solve is
+ * provably optimal on the complete component.  All float expressions
+ * associate exactly as the numpy source does, so the matching — and
+ * the resulting observable parity — is bit-identical to the pure
+ * path.                                                               */
+
+#define SPARSE_KNN_SEEDS 3
+
+typedef struct {
+    char *finite;      /* [k*k] off-diagonal finite W mask            */
+    char *finite_b;    /* [k] finite boundary-distance mask           */
+    char *present;     /* [k*k] candidate pairs fed to the engine     */
+    int64_t *ei;       /* [max_edges] engine edge endpoints           */
+    int64_t *ej;
+    double *ew;        /* [max_edges] engine edge weights             */
+    int64_t *mate;     /* [n] engine mates                            */
+    double *dual;      /* [2n] engine duals                           */
+} sparse_ws;
+
+static void
+sparse_ws_free(sparse_ws *ws)
+{
+    free(ws->finite);
+    free(ws->finite_b);
+    free(ws->present);
+    free(ws->ei);
+    free(ws->ej);
+    free(ws->ew);
+    free(ws->mate);
+    free(ws->dual);
+}
+
+static int
+sparse_ws_init(sparse_ws *ws, int k, int n, int max_edges)
+{
+    memset(ws, 0, sizeof(*ws));
+    ws->finite = (char *)malloc((size_t)k * (size_t)k);
+    ws->finite_b = (char *)malloc((size_t)k);
+    ws->present = (char *)calloc((size_t)k * (size_t)k, 1);
+    ws->ei = (int64_t *)malloc((size_t)max_edges * sizeof(int64_t));
+    ws->ej = (int64_t *)malloc((size_t)max_edges * sizeof(int64_t));
+    ws->ew = (double *)malloc((size_t)max_edges * sizeof(double));
+    ws->mate = (int64_t *)malloc((size_t)n * sizeof(int64_t));
+    ws->dual = (double *)malloc((size_t)(2 * n) * sizeof(double));
+    return ws->finite != NULL && ws->finite_b != NULL
+        && ws->present != NULL && ws->ei != NULL && ws->ej != NULL
+        && ws->ew != NULL && ws->mate != NULL && ws->dual != NULL;
+}
+
+/* Mark each row's c nearest partners (diagonal masked to +inf, ties
+ * broken toward the lower index — the lexicographic (weight, index)
+ * order np.argsort(kind="stable") yields) as present candidate pairs,
+ * skipping infinite entries exactly as knn_candidates does. */
+static void
+sparse_seed_knn(int k, const double *W, char *present)
+{
+    int c = SPARSE_KNN_SEEDS < k - 1 ? SPARSE_KNN_SEEDS : k - 1;
+    double best_w[SPARSE_KNN_SEEDS];
+    int best_j[SPARSE_KNN_SEEDS];
+    for (int i = 0; i < k; i++) {
+        int cnt = 0;
+        for (int j = 0; j < k; j++) {
+            double w = j == i ? INFINITY : W[(size_t)i * k + j];
+            /* j ascends, so on ties the earlier index stays ahead:
+             * insert strictly before the first entry with a larger
+             * weight. */
+            if (cnt < c) {
+                int pos = cnt;
+                while (pos > 0 && w < best_w[pos - 1]) {
+                    best_w[pos] = best_w[pos - 1];
+                    best_j[pos] = best_j[pos - 1];
+                    pos--;
+                }
+                best_w[pos] = w;
+                best_j[pos] = j;
+                cnt++;
+            }
+            else if (w < best_w[cnt - 1]) {
+                int pos = cnt - 1;
+                while (pos > 0 && w < best_w[pos - 1]) {
+                    best_w[pos] = best_w[pos - 1];
+                    best_j[pos] = best_j[pos - 1];
+                    pos--;
+                }
+                best_w[pos] = w;
+                best_j[pos] = j;
+            }
+        }
+        for (int s = 0; s < cnt; s++) {
+            int j = best_j[s];
+            int a = i < j ? i : j;
+            int b = i < j ? j : i;
+            if (isfinite(W[(size_t)a * k + b])) {
+                present[(size_t)a * k + b] = 1;
+                present[(size_t)b * k + a] = 1;
+            }
+        }
+    }
+}
+
+/* Engine edge list from the present mask: upper-triangle pairs in
+ * lexicographic order (np.nonzero(np.triu(present, 1))), then the
+ * boundary star in ascending defect order. */
+static int
+sparse_build_edges(int k, int use_virtual, const double *W,
+                   const double *b_dist, const char *finite_b, double big,
+                   const char *present, int64_t *ei, int64_t *ej,
+                   double *ew)
+{
+    int m = 0;
+    for (int a = 0; a < k; a++) {
+        for (int b = a + 1; b < k; b++) {
+            if (present[(size_t)a * k + b]) {
+                ei[m] = a;
+                ej[m] = b;
+                ew[m] = big - W[(size_t)a * k + b];
+                m++;
+            }
+        }
+    }
+    if (use_virtual) {
+        for (int i = 0; i < k; i++) {
+            if (finite_b[i]) {
+                ei[m] = i;
+                ej[m] = k;
+                ew[m] = big - b_dist[i];
+                m++;
+            }
+        }
+    }
+    return m;
+}
+
+/* Returns 0 on allocation failure (parity_out untouched), 1 on
+ * success. */
+static int
+sparse_component_parity(int k, const double *W,
+                        const unsigned char *use_pair,
+                        const unsigned char *P, const double *b_dist,
+                        const unsigned char *b_par, int *parity_out)
+{
+    if (k < 2) {
+        *parity_out =
+            (k == 1 && isfinite(b_dist[0])) ? (int)(b_par[0] & 1) : 0;
+        return 1;
+    }
+    int use_virtual = 0;
+    int any_fb = 0;
+    for (int i = 0; i < k; i++) {
+        if (isfinite(b_dist[i])) {
+            any_fb = 1;
+            break;
+        }
+    }
+    use_virtual = (k % 2) && any_fb;
+    int n = k + (use_virtual ? 1 : 0);
+    int max_edges = k * (k - 1) / 2 + k;
+    sparse_ws ws;
+    if (!sparse_ws_init(&ws, k, n, max_edges)) {
+        sparse_ws_free(&ws);
+        return 0;
+    }
+    for (int a = 0; a < k; a++) {
+        for (int b = 0; b < k; b++) {
+            ws.finite[(size_t)a * k + b] =
+                a != b && isfinite(W[(size_t)a * k + b]);
+        }
+    }
+    for (int i = 0; i < k; i++) {
+        ws.finite_b[i] = isfinite(b_dist[i]);
+    }
+    /* big = 1.0 + 2.0 * maxw, maxw over finite pair routes and (when
+     * the virtual boundary node participates) finite boundary
+     * routes. */
+    double maxw = 0.0;
+    int have = 0;
+    for (int a = 0; a < k; a++) {
+        for (int b = 0; b < k; b++) {
+            if (ws.finite[(size_t)a * k + b]) {
+                double w = W[(size_t)a * k + b];
+                if (!have || w > maxw) {
+                    maxw = w;
+                    have = 1;
+                }
+            }
+        }
+    }
+    if (use_virtual) {
+        double bmax = 0.0;
+        int haveb = 0;
+        for (int i = 0; i < k; i++) {
+            if (ws.finite_b[i]) {
+                double w = b_dist[i];
+                if (!haveb || w > bmax) {
+                    bmax = w;
+                    haveb = 1;
+                }
+            }
+        }
+        if (bmax > maxw) {
+            maxw = bmax;
+        }
+    }
+    double big = 1.0 + 2.0 * maxw;
+    sparse_seed_knn(k, W, ws.present);
+    /* Solve + certificate repair until no withheld pair can improve
+     * the matching; each round adds at least one edge, so the loop is
+     * bounded by the pair count. */
+    for (;;) {
+        int m = sparse_build_edges(k, use_virtual, W, b_dist, ws.finite_b,
+                                   big, ws.present, ws.ei, ws.ej, ws.ew);
+        if (m == 0) {
+            for (int v = 0; v < n; v++) {
+                ws.mate[v] = -1;
+            }
+            for (int v = 0; v < 2 * n; v++) {
+                ws.dual[v] = 0.0;
+            }
+        }
+        else if (!solve_graph(n, m, ws.ei, ws.ej, ws.ew, 1, ws.mate,
+                              ws.dual)) {
+            sparse_ws_free(&ws);
+            return 0;
+        }
+        int added = 0;
+        for (int a = 0; a < k; a++) {
+            for (int b = a + 1; b < k; b++) {
+                if (ws.present[(size_t)a * k + b]
+                    || !ws.finite[(size_t)a * k + b]) {
+                    continue;
+                }
+                /* Transformed slack of a withheld pair:
+                 * u_a + u_b - 2(big - W); negative means the pair
+                 * could still improve the matching. */
+                double threshold =
+                    big - 0.5 * (ws.dual[a] + ws.dual[b]);
+                int v = W[(size_t)a * k + b] < threshold - EPS;
+                if (!v && (ws.mate[a] < 0 || ws.mate[b] < 0)) {
+                    /* A defect the sparse graph could not cover:
+                     * offer its whole star so cardinality matches
+                     * the dense solve. */
+                    v = 1;
+                }
+                if (v) {
+                    ws.present[(size_t)a * k + b] = 1;
+                    ws.present[(size_t)b * k + a] = 1;
+                    added = 1;
+                }
+            }
+        }
+        if (!added) {
+            break;
+        }
+    }
+    /* Observable parity, mirroring sparse_match_parity. */
+    int parity = 0;
+    for (int i = 0; i < k; i++) {
+        int64_t j = ws.mate[i];
+        if (j == k) { /* the odd defect routed to the boundary */
+            parity ^= b_par[i] & 1;
+        }
+        else if (j < 0) { /* disconnected leftovers route alone */
+            if (ws.finite_b[i]) {
+                parity ^= b_par[i] & 1;
+            }
+        }
+        else if (i < j) {
+            if (use_pair[(size_t)i * k + j]) {
+                parity ^= P[(size_t)i * k + j] & 1;
+            }
+            else {
+                parity ^= (b_par[i] ^ b_par[j]) & 1;
+            }
+        }
+    }
+    sparse_ws_free(&ws);
+    *parity_out = parity;
+    return 1;
+}
+
+/* ------------------------------------------------------------------ */
+/* Python binding.                                                     */
+
+static PyObject *
+py_blossom_core(PyObject *self, PyObject *args)
+{
+    (void)self;
+    Py_ssize_t n_arg;
+    int jumpstart;
+    Py_buffer bi = {0}, bj = {0}, bw = {0}, bmate = {0}, bdual = {0};
+    if (!PyArg_ParseTuple(args, "ny*y*y*pw*w*", &n_arg, &bi, &bj, &bw,
+                          &jumpstart, &bmate, &bdual)) {
+        return NULL;
+    }
+    PyObject *result = NULL;
+    Py_ssize_t m = (Py_ssize_t)(bi.len / (Py_ssize_t)sizeof(int64_t));
+    if (n_arg < 1 || m < 1 || n_arg > INT_MAX / 4 || m > INT_MAX / 4
+        || bi.len != m * (Py_ssize_t)sizeof(int64_t) || bj.len != bi.len
+        || bw.len != m * (Py_ssize_t)sizeof(double)
+        || bmate.len != n_arg * (Py_ssize_t)sizeof(int64_t)
+        || bdual.len != 2 * n_arg * (Py_ssize_t)sizeof(double)) {
+        PyErr_SetString(PyExc_ValueError,
+                        "blossom_core: inconsistent buffer lengths");
+        goto done;
+    }
+    {
+        const int64_t *ei64 = (const int64_t *)bi.buf;
+        const int64_t *ej64 = (const int64_t *)bj.buf;
+        const double *ew = (const double *)bw.buf;
+        for (Py_ssize_t k = 0; k < m; k++) {
+            if (ei64[k] < 0 || ei64[k] >= n_arg || ej64[k] < 0
+                || ej64[k] >= n_arg) {
+                PyErr_SetString(PyExc_ValueError,
+                                "blossom_core: edge endpoint out of range");
+                goto done;
+            }
+        }
+        double max_weight = ew[0];
+        for (Py_ssize_t k = 1; k < m; k++) {
+            if (ew[k] > max_weight) {
+                max_weight = ew[k];
+            }
+        }
+        state st;
+        int ok;
+        int init_ok;
+        Py_BEGIN_ALLOW_THREADS;
+        init_ok = state_init(&st, (int)n_arg, (int)m, ei64, ej64, ew);
+        if (init_ok) {
+            for (int v = 0; v < (int)n_arg; v++) {
+                st.dualvar[v] = max_weight;
+            }
+            for (int b = (int)n_arg; b < 2 * (int)n_arg; b++) {
+                st.dualvar[b] = 0.0;
+            }
+            ok = run_core(&st, jumpstart, max_weight, (int64_t *)bmate.buf,
+                          (double *)bdual.buf);
+        }
+        else {
+            ok = 0;
+        }
+        state_free(&st);
+        Py_END_ALLOW_THREADS;
+        if (!ok) {
+            PyErr_NoMemory();
+            goto done;
+        }
+        result = Py_None;
+        Py_INCREF(result);
+    }
+done:
+    PyBuffer_Release(&bi);
+    PyBuffer_Release(&bj);
+    PyBuffer_Release(&bw);
+    PyBuffer_Release(&bmate);
+    PyBuffer_Release(&bdual);
+    return result;
+}
+
+static PyObject *
+py_sparse_match_parity(PyObject *self, PyObject *args)
+{
+    (void)self;
+    Py_ssize_t k_arg;
+    Py_buffer bW = {0}, bup = {0}, bP = {0}, bbd = {0}, bbp = {0};
+    if (!PyArg_ParseTuple(args, "ny*y*y*y*y*", &k_arg, &bW, &bup, &bP,
+                          &bbd, &bbp)) {
+        return NULL;
+    }
+    PyObject *result = NULL;
+    Py_ssize_t kk = k_arg * k_arg;
+    if (k_arg < 1 || k_arg > INT_MAX / 4 || kk / k_arg != k_arg
+        || bW.len != kk * (Py_ssize_t)sizeof(double) || bup.len != kk
+        || bP.len != kk || bbd.len != k_arg * (Py_ssize_t)sizeof(double)
+        || bbp.len != k_arg) {
+        PyErr_SetString(PyExc_ValueError,
+                        "sparse_match_parity: inconsistent buffer lengths");
+        goto done;
+    }
+    {
+        int parity = 0;
+        int ok;
+        Py_BEGIN_ALLOW_THREADS;
+        ok = sparse_component_parity(
+            (int)k_arg, (const double *)bW.buf,
+            (const unsigned char *)bup.buf, (const unsigned char *)bP.buf,
+            (const double *)bbd.buf, (const unsigned char *)bbp.buf,
+            &parity);
+        Py_END_ALLOW_THREADS;
+        if (!ok) {
+            PyErr_NoMemory();
+            goto done;
+        }
+        result = PyLong_FromLong(parity);
+    }
+done:
+    PyBuffer_Release(&bW);
+    PyBuffer_Release(&bup);
+    PyBuffer_Release(&bP);
+    PyBuffer_Release(&bbd);
+    PyBuffer_Release(&bbp);
+    return result;
+}
+
+static PyMethodDef cblossom_methods[] = {
+    {"sparse_match_parity", py_sparse_match_parity, METH_VARARGS,
+     "sparse_match_parity(k, W, use_pair, P, b_dist, b_par)\n\n"
+     "Observable parity of one oversize component via the compiled\n"
+     "sparse region-growing matcher; bit-identical to the pure-Python\n"
+     "sparse_match_parity in repro.decode.sparse_match.  W and b_dist\n"
+     "are contiguous float64 buffers (k*k and k), use_pair/P/b_par\n"
+     "contiguous 1-byte buffers (k*k, k*k, k)."},
+    {"blossom_core", py_blossom_core, METH_VARARGS,
+     "blossom_core(n, edge_i, edge_j, edge_w, jumpstart, mate_out, "
+     "dual_out)\n\n"
+     "Compiled primal-dual blossom matching core; bit-identical to the\n"
+     "pure-Python engine in repro.decode.blossom.  Fills mate_out\n"
+     "(int64[n], partner vertex or -1) and dual_out (float64[2n])."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef cblossom_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.decode._cblossom",
+    "Compiled blossom matching kernel (see repro.decode.blossom).",
+    -1,
+    cblossom_methods,
+    NULL,
+    NULL,
+    NULL,
+    NULL,
+};
+
+PyMODINIT_FUNC
+PyInit__cblossom(void)
+{
+    return PyModule_Create(&cblossom_module);
+}

@@ -102,6 +102,12 @@ class Decoder:
     #: wait for this.  Settable per instance.
     pool_timeout: float | None = None
 
+    #: Minimum unique syndromes per worker before ``decode_batch``
+    #: bothers forking a pool — below it start-up cost dominates.
+    #: Settable per instance; the scaling benchmark lowers it so a
+    #: fixed workload shards at every pool width it sweeps.
+    min_shard_syndromes: int = _MIN_SYNDROMES_PER_WORKER
+
     def __init__(
         self,
         graph,
@@ -286,7 +292,7 @@ class Decoder:
     # -- forked-pool sharding ------------------------------------------
     def _can_shard(self, num_unique: int, workers: int) -> bool:
         """Whether forking a pool is worthwhile (and safe) here."""
-        if num_unique < workers * _MIN_SYNDROMES_PER_WORKER:
+        if num_unique < workers * self.min_shard_syndromes:
             return False
         # macOS advertises fork but aborts forked children that touch
         # Apple-framework state; only Linux fork is trusted here.
@@ -328,7 +334,7 @@ class Decoder:
         self._prepare_fork()
         out = np.zeros(len(defect_sets), dtype=np.uint8)
         misses = self._cache_scan(defect_sets, out)
-        if len(misses) < workers * _MIN_SYNDROMES_PER_WORKER:
+        if len(misses) < workers * self.min_shard_syndromes:
             # A warm cache can shrink a shard-worthy batch to a handful
             # of misses; forking a pool for those loses to the serial
             # loop, so the floor is re-checked on the actual work.

@@ -39,6 +39,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.decode.blossom import kernel_backend
+
 __all__ = [
     "DP_SCALAR_LIMIT",
     "DP_DEFECT_LIMIT",
@@ -401,16 +403,40 @@ def decode_blossom_batch(decoder, defect_sets) -> np.ndarray:
             b_col,
         )
 
-    # Oversize components: one matching-engine call each (sparse
-    # region-growing by default, dense blossom under matcher="dense" —
-    # the same dispatch the serial path uses, so both stay
-    # bit-identical).
-    for c in np.nonzero(comp_sizes > dp_cutoff)[0]:
-        members = sorted_nodes[comp_starts[c] : comp_starts[c + 1]]
-        det = flat_det[members][None, :]
-        W, use_pair, _, P, b_dist, b_par = _gather(dist, par, b_col, det)
-        parity = decoder._match_oversize(
-            len(members), W[0], use_pair[0], P[0], b_dist[0], b_par[0]
-        )
-        out[sorted_syn[comp_starts[c]]] ^= np.uint8(parity)
+    # Oversize components: stacked setup, one matching-engine call per
+    # component (sparse region-growing by default, dense blossom under
+    # matcher="dense" — the same dispatch the serial path uses, so both
+    # stay bit-identical).  Same-size components share one gather — and
+    # under the sparse matcher one batched kNN-seed pass — exactly as
+    # the DP buckets stack theirs, so per-component Python work shrinks
+    # to the engine call itself.
+    over = np.nonzero(comp_sizes > dp_cutoff)[0]
+    if over.size == 0:
+        return out
+    sparse = getattr(decoder, "matcher", None) == "sparse"
+    # The compiled sparse matcher recomputes its (identical) kNN seeds
+    # in C, so the stacked seed pass only pays off on the pure backend.
+    need_seeds = sparse and kernel_backend() == "python"
+    if need_seeds:
+        from repro.decode.sparse_match import knn_candidates_batch
+    for size in np.unique(comp_sizes[over]):
+        n = int(size)
+        comps = over[comp_sizes[over] == size]
+        member_idx = comp_starts[comps, None] + np.arange(n)[None, :]
+        det_all = flat_det[sorted_nodes[member_idx]]
+        syn_all = sorted_syn[comp_starts[comps]]
+        chunk = max(1, _BATCH_ELEMENT_LIMIT // (n * n))
+        for start in range(0, len(comps), chunk):
+            sl = slice(start, start + chunk)
+            det = det_all[sl]
+            W, use_pair, _, P, b_dist, b_par = _gather(
+                dist, par, b_col, det
+            )
+            seeds = knn_candidates_batch(W) if need_seeds else None
+            for i in range(det.shape[0]):
+                parity = decoder._match_oversize(
+                    n, W[i], use_pair[i], P[i], b_dist[i], b_par[i],
+                    seeds=seeds[i] if need_seeds else None,
+                )
+                out[syn_all[sl][i]] ^= np.uint8(parity)
     return out

@@ -57,10 +57,13 @@ Entry points
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 __all__ = [
     "blossom_core",
+    "kernel_backend",
     "min_weight_perfect_matching",
     "max_weight_matching",
 ]
@@ -71,15 +74,78 @@ __all__ = [
 #: log-likelihood weights (O(10) per edge) this engine sees.
 _EPS = 1e-9
 
+# The compiled kernel (repro/decode/_cblossom.c) is a
+# statement-for-statement port of :func:`_blossom_core_py` below and is
+# bit-identical to it on every input (pinned by
+# tests/test_blossom_kernel.py).  It is optional: the build may be
+# skipped (no C toolchain) and REPRO_PURE_BLOSSOM=1 force-disables it,
+# in which case the pure-Python engine — the pinned oracle — runs.
+_KERNEL = None
+if not os.environ.get("REPRO_PURE_BLOSSOM"):
+    try:
+        from repro.decode import _cblossom as _KERNEL  # type: ignore
+    except ImportError:  # pragma: no cover - depends on the build
+        _KERNEL = None
+
+
+def kernel_backend() -> str:
+    """Which ``blossom_core`` backend is active.
+
+    ``"compiled"`` when the :mod:`repro.decode._cblossom` extension
+    imported (and ``REPRO_PURE_BLOSSOM`` is unset), ``"python"``
+    otherwise.  Both backends return bit-identical results; only speed
+    differs.
+    """
+    return "compiled" if _KERNEL is not None else "python"
+
 
 def blossom_core(
+    num_vertices: int,
+    edge_i: "list[int] | np.ndarray",
+    edge_j: "list[int] | np.ndarray",
+    edge_w: "list[float] | np.ndarray",
+    jumpstart: bool = False,
+) -> tuple[list[int], list[float]]:
+    """Maximum-cardinality maximum-weight matching on flat edge arrays.
+
+    Dispatches to the compiled kernel when available (see
+    :func:`kernel_backend`), otherwise to the pure-Python engine
+    :func:`_blossom_core_py`; the two are bit-identical.  Edge arrays
+    may be Python lists or numpy arrays — numpy inputs reach the
+    compiled kernel without any intermediate list materialisation.
+    Returns plain Python lists either way.
+    """
+    n = num_vertices
+    m = len(edge_w)
+    if n == 0 or m == 0:
+        return [-1] * n, [0.0] * (2 * n)
+    if _KERNEL is not None:
+        ei = np.ascontiguousarray(edge_i, dtype=np.int64)
+        ej = np.ascontiguousarray(edge_j, dtype=np.int64)
+        ew = np.ascontiguousarray(edge_w, dtype=np.float64)
+        mate = np.empty(n, dtype=np.int64)
+        dual = np.empty(2 * n, dtype=np.float64)
+        _KERNEL.blossom_core(n, ei, ej, ew, bool(jumpstart), mate, dual)
+        return mate.tolist(), dual.tolist()
+    # The interpreter is faster on plain lists than on ndarray scalar
+    # indexing, so the pure path materialises lists once up front.
+    if isinstance(edge_i, np.ndarray):
+        edge_i = edge_i.tolist()
+    if isinstance(edge_j, np.ndarray):
+        edge_j = edge_j.tolist()
+    if isinstance(edge_w, np.ndarray):
+        edge_w = edge_w.tolist()
+    return _blossom_core_py(n, edge_i, edge_j, edge_w, jumpstart)
+
+
+def _blossom_core_py(
     num_vertices: int,
     edge_i: list[int],
     edge_j: list[int],
     edge_w: list[float],
     jumpstart: bool = False,
 ) -> tuple[list[int], list[float]]:
-    """Maximum-cardinality maximum-weight matching on flat edge arrays.
+    """The pure-Python primal–dual engine (the pinned oracle).
 
     Returns ``(mate, dualvar)``: ``mate[v]`` is the partner vertex of
     ``v`` or ``-1``, and ``dualvar`` holds the final vertex duals
@@ -590,8 +656,7 @@ def min_weight_perfect_matching(
     if iu.size == 0:
         return [-1] * n, 0.0
     big = 1.0 + 2.0 * float(cost[iu, ju].max())
-    weights = (big - cost[iu, ju]).tolist()
-    mate, _ = blossom_core(n, iu.tolist(), ju.tolist(), weights)
+    mate, _ = blossom_core(n, iu, ju, big - cost[iu, ju])
     total = 0.0
     for v in range(n):
         if 0 <= mate[v] and v < mate[v]:

@@ -267,7 +267,9 @@ class MatchingDecoder(Decoder):
             n, W[sub], use_pair[sub], P[sub], b_dist[idx], b_par[idx]
         )
 
-    def _match_oversize(self, k, W, use_pair, P, b_dist, b_par) -> int:
+    def _match_oversize(
+        self, k, W, use_pair, P, b_dist, b_par, seeds=None
+    ) -> int:
         """Matching-engine dispatch for components past the DP cutoff.
 
         The seam the vectorised batch pipeline calls too, so the
@@ -275,10 +277,16 @@ class MatchingDecoder(Decoder):
         a component: ``matcher="sparse"`` grows the component on
         candidate edges (:func:`repro.decode.sparse_match.
         sparse_match_parity`), ``matcher="dense"`` keeps the
-        complete-graph blossom.
+        complete-graph blossom.  ``seeds`` is an optional pre-computed
+        ``(ei, ej)`` candidate seed for the sparse engine — the batch
+        pipeline computes the kNN seeds of every same-size component in
+        one stacked pass and hands them through here; the dense engine
+        needs no setup and ignores it.
         """
         if self.matcher == "sparse":
-            return sparse_match_parity(k, W, use_pair, P, b_dist, b_par)
+            return sparse_match_parity(
+                k, W, use_pair, P, b_dist, b_par, seeds=seeds
+            )
         return self._blossom_match(k, W, use_pair, P, b_dist, b_par)
 
     @staticmethod

@@ -66,12 +66,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.decode import blossom as _blossom
 from repro.decode.batch import _DP_STACK_MAX
 from repro.decode.blossom import blossom_core
 
 __all__ = [
     "SPARSE_MIN_DEFECTS",
     "knn_candidates",
+    "knn_candidates_batch",
     "region_candidates",
     "sparse_match",
     "sparse_match_parity",
@@ -114,11 +116,19 @@ def knn_candidates(W: np.ndarray, seeds: int = _KNN_SEEDS):
     two-boundary route, whichever is cheaper).  Returns ``(ei, ej)``
     index arrays with ``ei < ej``, deduplicated, in lexicographic
     order.
+
+    Selection is by ``(weight, index)`` — a stable argsort, not
+    ``argpartition`` — so ties at the selection boundary always resolve
+    toward the lower partner index.  That makes the seed set a pure
+    function of the row values, replicated exactly by the compiled
+    sparse matcher (``_cblossom.sparse_match_parity``), which keeps the
+    compiled and pure backends' candidate graphs — and therefore their
+    predictions — bit-identical.
     """
     k = W.shape[0]
     c = min(seeds, k - 1)
     masked = np.where(np.eye(k, dtype=bool), np.inf, W)
-    nearest = np.argpartition(masked, c - 1, axis=1)[:, :c]
+    nearest = np.argsort(masked, axis=1, kind="stable")[:, :c]
     ii = np.repeat(np.arange(k), c)
     jj = nearest.reshape(-1)
     a = np.minimum(ii, jj)
@@ -126,6 +136,40 @@ def knn_candidates(W: np.ndarray, seeds: int = _KNN_SEEDS):
     keep = np.isfinite(masked[a, b])
     codes = np.unique(a[keep] * k + b[keep])
     return codes // k, codes % k
+
+
+def knn_candidates_batch(W: np.ndarray, seeds: int = _KNN_SEEDS):
+    """:func:`knn_candidates` for a ``(group, k, k)`` stack at once.
+
+    One batched ``argsort``/``unique`` pass replaces ``group``
+    per-component calls; the returned list of ``(ei, ej)`` pairs is
+    element-for-element identical to calling :func:`knn_candidates` on
+    each slice (the stable argsort acts on each row independently, and
+    the per-group codes come out of one offset ``np.unique`` already
+    sorted), so seeding the sparse engine from either is bit-identical.
+    """
+    g, k, _ = W.shape
+    c = min(seeds, k - 1)
+    masked = np.where(np.eye(k, dtype=bool)[None, :, :], np.inf, W)
+    nearest = np.argsort(masked, axis=2, kind="stable")[:, :, :c]
+    ii = np.broadcast_to(
+        np.arange(k)[None, :, None], (g, k, c)
+    ).reshape(g, -1)
+    jj = nearest.reshape(g, -1)
+    a = np.minimum(ii, jj)
+    b = np.maximum(ii, jj)
+    local = a * k + b
+    keep = np.isfinite(
+        np.take_along_axis(masked.reshape(g, -1), local, axis=1)
+    )
+    rows = np.nonzero(keep)[0]
+    codes = np.unique(rows * (k * k) + local[keep])
+    starts = np.searchsorted(codes // (k * k), np.arange(g + 1))
+    out = []
+    for i in range(g):
+        grp = codes[starts[i] : starts[i + 1]] % (k * k)
+        out.append((grp // k, grp % k))
+    return out
 
 
 def region_candidates(graph, det_ids):
@@ -207,14 +251,13 @@ def sparse_match(
     if use_virtual:
         maxw = max(maxw, float(b_dist[finite_b].max()))
     big = 1.0 + 2.0 * maxw
-    boundary_i: list[int] = []
-    boundary_j: list[int] = []
-    boundary_w: list[float] = []
     if use_virtual:
-        for i in np.nonzero(finite_b)[0]:
-            boundary_i.append(int(i))
-            boundary_j.append(k)
-            boundary_w.append(big - float(b_dist[i]))
+        boundary_i = np.nonzero(finite_b)[0].astype(np.int64)
+        boundary_j = np.full(boundary_i.size, k, dtype=np.int64)
+        boundary_w = big - np.asarray(b_dist, dtype=np.float64)[boundary_i]
+    else:
+        boundary_i = boundary_j = np.zeros(0, dtype=np.int64)
+        boundary_w = np.zeros(0, dtype=np.float64)
     if seeds is None:
         ei, ej = knn_candidates(W)
     else:
@@ -232,9 +275,9 @@ def sparse_match(
         pi, pj = np.nonzero(np.triu(present, 1))
         mate, duals = blossom_core(
             n,
-            pi.tolist() + boundary_i,
-            pj.tolist() + boundary_j,
-            (big - W[pi, pj]).tolist() + boundary_w,
+            np.concatenate([pi, boundary_i]),
+            np.concatenate([pj, boundary_j]),
+            np.concatenate([big - W[pi, pj], boundary_w]),
             jumpstart=True,
         )
         u = np.asarray(duals[:k])
@@ -273,7 +316,26 @@ def sparse_match_parity(
     and the two-boundary parity otherwise, the odd defect matched to
     the virtual boundary node takes its boundary parity, and
     unmatchable leftovers route alone when the boundary is reachable.
+
+    When the compiled kernel is loaded the whole matcher — seed
+    selection, the jumpstarted solve and the dual-certificate repair
+    loop — runs inside :mod:`repro.decode._cblossom`, bit-identical to
+    the pure path below (the kernel recomputes the same ``(weight,
+    index)`` kNN seeds internally, so ``seeds`` only feeds the pure
+    fallback).
     """
+    kernel = _blossom._KERNEL
+    if kernel is not None and k >= 2:
+        return int(
+            kernel.sparse_match_parity(
+                int(k),
+                np.ascontiguousarray(W, dtype=np.float64),
+                np.ascontiguousarray(use_pair, dtype=np.uint8),
+                np.ascontiguousarray(P, dtype=np.uint8),
+                np.ascontiguousarray(b_dist, dtype=np.float64),
+                np.ascontiguousarray(b_par, dtype=np.uint8),
+            )
+        )
     mate, _ = sparse_match(W, b_dist, seeds=seeds)
     parity = 0
     for i in range(k):

@@ -1,0 +1,249 @@
+"""Compiled blossom kernel == pure-Python engine, bit for bit.
+
+The C extension (``repro.decode._cblossom``) is a statement-for-
+statement port of the pure engine and must be *indistinguishable* from
+it: same mates, same matching weight, same final duals, on every
+input.  A hypothesis property suite pins this over randomized graphs
+(continuous and degenerate tied weights, with and without the
+jumpstart), and dense d=5 memory circuits (p ≥ 3e-3 and
+untreated-defect runs) pin the same identity end to end through the
+decoder — including the compiled sparse component matcher
+(``_cblossom.sparse_match_parity``), which re-implements seed
+selection, solve and certificate repair in C.
+
+When the extension is not built (or ``REPRO_PURE_BLOSSOM=1``), the
+kernel-comparison tests skip and the remaining tests exercise the pure
+fallback.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decode import MatchingDecoder
+from repro.decode import blossom
+from repro.decode import sparse_match as sparse_module
+from repro.decode.blossom import (
+    _blossom_core_py,
+    blossom_core,
+    kernel_backend,
+)
+from repro.sim import NoiseModel, build_dem, memory_circuit, sample_detectors
+from repro.surface import rotated_surface_code
+
+requires_kernel = pytest.mark.skipif(
+    kernel_backend() != "compiled",
+    reason="compiled _cblossom kernel not available",
+)
+
+
+@st.composite
+def random_graphs(draw):
+    """(n, edge_i, edge_j, edge_w, jumpstart) over distinct pairs.
+
+    Half the instances draw small-integer weights so ties are
+    ubiquitous — the regime where scan order and tie-breaking decide
+    the matching and any divergence between the backends would show.
+    """
+    n = draw(st.integers(min_value=1, max_value=14))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    m = draw(st.integers(min_value=0, max_value=min(len(pairs), 24)))
+    order = draw(st.permutations(range(len(pairs)))) if pairs else []
+    chosen = [pairs[t] for t in order[:m]]
+    if draw(st.booleans()):
+        weights = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=4).map(float),
+                min_size=m,
+                max_size=m,
+            )
+        )
+    else:
+        weights = draw(
+            st.lists(
+                st.floats(
+                    min_value=0.1,
+                    max_value=9.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                min_size=m,
+                max_size=m,
+            )
+        )
+    ei = [a for a, _ in chosen]
+    ej = [b for _, b in chosen]
+    return n, ei, ej, weights, draw(st.booleans())
+
+
+def matched_weight(n, ei, ej, ew, mate):
+    lut = {(a, b): w for a, b, w in zip(ei, ej, ew)}
+    total = 0.0
+    for v in range(n):
+        if 0 <= mate[v] and v < mate[v]:
+            total += lut[(v, mate[v])]
+    return total
+
+
+@requires_kernel
+class TestKernelIdentity:
+    @settings(max_examples=150, deadline=None, derandomize=True)
+    @given(random_graphs())
+    def test_mates_and_duals_bit_identical(self, graph):
+        n, ei, ej, ew, jumpstart = graph
+        got = blossom_core(n, ei, ej, ew, jumpstart=jumpstart)
+        want = _blossom_core_py(n, list(ei), list(ej), list(ew), jumpstart)
+        assert got[0] == want[0]  # mates, exact
+        assert got[1] == want[1]  # duals, bit for bit
+
+    @settings(max_examples=100, deadline=None, derandomize=True)
+    @given(random_graphs())
+    def test_matching_weight_and_dual_feasibility(self, graph):
+        n, ei, ej, ew, jumpstart = graph
+        mate, dual = blossom_core(n, ei, ej, ew, jumpstart=jumpstart)
+        mate_py, dual_py = _blossom_core_py(
+            n, list(ei), list(ej), list(ew), jumpstart
+        )
+        assert matched_weight(n, ei, ej, ew, mate) == matched_weight(
+            n, ei, ej, ew, mate_py
+        )
+        # Final blossom duals never go negative (delta never exceeds
+        # the smallest T-blossom dual), and every fed edge satisfies
+        # the LP feasibility u_i + u_j + Σ z_B ≥ 2w; summing *all*
+        # blossom duals relaxes the Σ over containing blossoms, so
+        # this must hold up to rounding on both backends.
+        for duals in (dual, dual_py):
+            z = np.asarray(duals[n:])
+            assert (z >= -1e-9).all()
+            u = np.asarray(duals[:n])
+            for a, b, w in zip(ei, ej, ew):
+                assert u[a] + u[b] - 2.0 * w + 2.0 * z.sum() >= -1e-9
+
+    def test_numpy_inputs_match_list_inputs(self):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            n = int(rng.integers(2, 12))
+            pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+            take = rng.permutation(len(pairs))[: rng.integers(1, len(pairs) + 1)]
+            ei = np.array([pairs[t][0] for t in take], dtype=np.int64)
+            ej = np.array([pairs[t][1] for t in take], dtype=np.int64)
+            ew = rng.uniform(0.5, 5.0, size=len(take))
+            got = blossom_core(n, ei, ej, ew, jumpstart=True)
+            want = blossom_core(
+                n, ei.tolist(), ej.tolist(), ew.tolist(), jumpstart=True
+            )
+            assert got == want
+
+    def test_buffer_validation(self):
+        kern = blossom._KERNEL
+        mate = np.empty(3, dtype=np.int64)
+        dual = np.empty(6, dtype=np.float64)
+        short = np.zeros(1, dtype=np.int64)
+        with pytest.raises(ValueError):
+            kern.blossom_core(
+                3,
+                np.zeros(2, dtype=np.int64),
+                short,  # length mismatch
+                np.zeros(2, dtype=np.float64),
+                False,
+                mate,
+                dual,
+            )
+        with pytest.raises(ValueError):
+            kern.blossom_core(
+                3,
+                np.array([0, 5], dtype=np.int64),  # endpoint out of range
+                np.array([1, 2], dtype=np.int64),
+                np.zeros(2, dtype=np.float64),
+                False,
+                mate,
+                dual,
+            )
+        with pytest.raises(ValueError):
+            kern.sparse_match_parity(
+                2,
+                np.zeros((2, 2)),
+                np.zeros((2, 2), dtype=np.uint8),
+                np.zeros((2, 2), dtype=np.uint8),
+                np.zeros(3),  # length mismatch
+                np.zeros(2, dtype=np.uint8),
+            )
+
+
+@requires_kernel
+class TestCompiledSparseMatcher:
+    def test_parity_matches_pure_path(self, monkeypatch):
+        """Compiled sparse matcher == pure path on random components,
+        including tie-heavy integer weights and unreachable defects."""
+        rng = np.random.default_rng(17)
+        for trial in range(300):
+            k = int(rng.integers(2, 22))
+            if trial % 3 == 0:
+                base = rng.integers(1, 5, size=(k, k)).astype(float)
+            else:
+                base = rng.uniform(0.5, 10.0, size=(k, k))
+            W = np.triu(base, 1)
+            W = W + W.T
+            np.fill_diagonal(W, np.inf)
+            drop = np.triu(rng.random((k, k)) < 0.25, 1)
+            W[drop | drop.T] = np.inf
+            b_dist = rng.uniform(0.5, 10.0, size=k)
+            b_dist[rng.random(k) < 0.3] = np.inf
+            use_pair = np.triu(rng.random((k, k)) < 0.5, 1)
+            use_pair = use_pair | use_pair.T
+            P = np.triu(rng.random((k, k)) < 0.5, 1).astype(np.uint8)
+            P = P | P.T
+            b_par = (rng.random(k) < 0.5).astype(np.uint8)
+            args = (k, W, use_pair, P, b_dist, b_par)
+            got = sparse_module.sparse_match_parity(*args)
+            with monkeypatch.context() as mp:
+                mp.setattr(blossom, "_KERNEL", None)
+                want = sparse_module.sparse_match_parity(*args)
+            assert got == want
+
+    @pytest.mark.parametrize(
+        "p,rounds,defective",
+        [
+            (3e-3, 10, None),
+            (1e-3, 10, {(3, 3), (5, 5)}),  # untreated-defect circuit
+        ],
+    )
+    def test_dense_memory_circuits_cross_backend(
+        self, monkeypatch, p, rounds, defective
+    ):
+        """d=5 dense-syndrome circuits decode identically on the
+        compiled and pure backends, for both matching engines."""
+        patch = rotated_surface_code(5)
+        circuit = memory_circuit(
+            patch.code,
+            "Z",
+            rounds,
+            NoiseModel.uniform(p),
+            defective_data=defective,
+        )
+        dem = build_dem(circuit)
+        detectors, _ = sample_detectors(circuit, 80, seed=13)
+        # The slice must actually push components through the oversize
+        # matching engines, not just the subset DP.
+        assert int(detectors.sum(axis=1).max()) >= (
+            sparse_module.SPARSE_MIN_DEFECTS
+        )
+        for matcher in ("sparse", "dense"):
+            compiled = MatchingDecoder(dem, matcher=matcher).decode_batch(
+                detectors
+            )
+            with monkeypatch.context() as mp:
+                mp.setattr(blossom, "_KERNEL", None)
+                pure = MatchingDecoder(dem, matcher=matcher).decode_batch(
+                    detectors
+                )
+            assert (compiled == pure).all()
+
+
+class TestBackendReporting:
+    def test_kernel_backend_reflects_kernel(self, monkeypatch):
+        assert kernel_backend() in ("compiled", "python")
+        with monkeypatch.context() as mp:
+            mp.setattr(blossom, "_KERNEL", None)
+            assert kernel_backend() == "python"

@@ -78,14 +78,28 @@ class TestEngineEquality:
     @given(component_case())
     @settings(max_examples=60, deadline=None)
     def test_weight_and_cardinality_match_dense(self, case):
-        """Same optimum as the dense engine on arbitrary components."""
+        """Same optimum as the dense engine on arbitrary components.
+
+        The pinned invariants are the matching *edge count* (every
+        maximum-cardinality matching of the same reduced graph has the
+        same number of edges) and the total weight (minimal among
+        those, exactly).  The number of *defects* covered is
+        deliberately not pinned: on exact weight ties a pair edge
+        (two defects) and a boundary edge (one defect) can both be
+        optimal, and the engines may legitimately resolve such ties
+        differently.
+        """
         W, b_dist, _ = case
         k = W.shape[0]
         mate_d, total_d = dense_oracle(W, b_dist)
         mate_s, total_s = sparse_match(W, b_dist)
-        matched_d = sum(1 for i in range(k) if mate_d[i] >= 0)
-        matched_s = sum(1 for i in range(k) if mate_s[i] >= 0)
-        assert matched_s == matched_d
+
+        def edge_count(mate):
+            pairs = sum(1 for i in range(k) if i < mate[i] < k)
+            boundary = sum(1 for i in range(k) if mate[i] == k)
+            return pairs + boundary
+
+        assert edge_count(mate_s) == edge_count(mate_d)
         assert total_s == pytest.approx(total_d)
 
     @given(component_case())
