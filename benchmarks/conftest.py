@@ -10,13 +10,13 @@ Monte-Carlo sample counts are deliberately laptop-sized; set
 ``REPRO_BENCH_SCALE`` (default 1.0) to scale shots/samples up.
 """
 
-import os
-
 import pytest
+
+from repro.utils.env import env_float
 
 
 def bench_scale() -> float:
-    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return env_float("REPRO_BENCH_SCALE", 1.0)
 
 
 def scaled(n: int, minimum: int = 10) -> int:

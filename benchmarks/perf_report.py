@@ -82,19 +82,19 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-import numpy as np  # noqa: E402
-import scipy  # noqa: E402
+import numpy as np
+import scipy
 
-from repro.decode import MatchingDecoder  # noqa: E402
-from repro.store import atomic_write_text  # noqa: E402
-from repro.decode.batch import _gather  # noqa: E402
-from repro.decode.blossom import kernel_backend  # noqa: E402
-from repro.decode.sparse_match import (  # noqa: E402
+from repro.decode import MatchingDecoder
+from repro.store import atomic_write_text
+from repro.decode.batch import _gather
+from repro.decode.blossom import kernel_backend
+from repro.decode.sparse_match import (
     SPARSE_MIN_DEFECTS,
     sparse_match_parity,
 )
-from repro.sim import NoiseModel, build_dem, memory_circuit, sample_detectors  # noqa: E402
-from repro.surface import rotated_surface_code  # noqa: E402
+from repro.sim import NoiseModel, build_dem, memory_circuit, sample_detectors
+from repro.surface import rotated_surface_code
 
 ROUNDS = 25
 NOISE_P = 1e-3

@@ -40,7 +40,7 @@ def test_fig12_qubit_counts(benchmark, table):
             d, qubits = results[(name, method)]
             cells.append(f"{qubits:.2e} (d={d})")
         table.add(*cells)
-    table.show(header=("Benchmark",) + METHODS)
+    table.show(header=("Benchmark", *METHODS))
 
     for name in PROGRAMS:
         ls = results[(name, "lattice_surgery")][1]

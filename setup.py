@@ -56,6 +56,10 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    # PEP 561: the annotations on the public decode/sim/eval/store
+    # surfaces are part of the API; ship the marker so type checkers
+    # consume them from an installed copy too.
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
     install_requires=["numpy", "scipy", "networkx"],
     ext_modules=[

@@ -17,13 +17,15 @@ from __future__ import annotations
 
 from repro.deform.gauge import stabilizers_containing
 from repro.deform.instructions import data_q_rm, patch_q_rm
+from collections.abc import Iterable
+
 from repro.surface.lattice import Coord, is_data_coord, is_face_coord
 from repro.surface.patch import SurfacePatch
 
 __all__ = ["asc_defect_removal"]
 
 
-def asc_defect_removal(patch: SurfacePatch, defects) -> None:
+def asc_defect_removal(patch: SurfacePatch, defects: Iterable[Coord]) -> None:
     """Apply ASC-S's uniform super-stabilizer removal to ``defects``."""
     for defect in sorted(set(defects)):
         if is_face_coord(defect):

@@ -45,7 +45,12 @@ from collections import OrderedDict
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.utils.gf2 import PackedBits, gf2_unpack
+
+if TYPE_CHECKING:
+    from repro.decode.graph import DecodingGraph
 
 __all__ = ["Decoder", "DEFAULT_CACHE_SIZE"]
 
@@ -110,7 +115,7 @@ class Decoder:
 
     def __init__(
         self,
-        graph,
+        graph: DecodingGraph,
         *,
         cache_size: int = DEFAULT_CACHE_SIZE,
         workers: int | None = None,
@@ -281,7 +286,7 @@ class Decoder:
     def _absorb_results(self, out, defect_sets, misses, results) -> None:
         """Scatter miss results into ``out`` and warm the cache."""
         cache = self._cache
-        for i, result in zip(misses, results):
+        for i, result in zip(misses, results, strict=True):
             out[i] = result
             if cache is not None:
                 self.cache_misses += 1

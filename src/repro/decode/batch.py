@@ -39,7 +39,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
 from repro.decode.blossom import kernel_backend
+
+if TYPE_CHECKING:
+    from repro.decode.mwpm import MatchingDecoder
 
 __all__ = [
     "DP_SCALAR_LIMIT",
@@ -261,7 +267,9 @@ def _dp_bucket(decoder, out, syn_ids, det, dist, par, b_col) -> None:
         )
 
 
-def decode_blossom_batch(decoder, defect_sets) -> np.ndarray:
+def decode_blossom_batch(
+    decoder: MatchingDecoder, defect_sets: Sequence[tuple[int, ...]]
+) -> np.ndarray:
     """Predictions for a list of unique nonempty defect tuples.
 
     ``decoder`` is a matrix-backed blossom :class:`MatchingDecoder`;

@@ -57,9 +57,9 @@ Entry points
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
+
+from repro.utils.env import env_flag
 
 __all__ = [
     "blossom_core",
@@ -81,7 +81,7 @@ _EPS = 1e-9
 # skipped (no C toolchain) and REPRO_PURE_BLOSSOM=1 force-disables it,
 # in which case the pure-Python engine — the pinned oracle — runs.
 _KERNEL = None
-if not os.environ.get("REPRO_PURE_BLOSSOM"):
+if not env_flag("REPRO_PURE_BLOSSOM"):
     try:
         from repro.decode import _cblossom as _KERNEL  # type: ignore
     except ImportError:  # pragma: no cover - depends on the build

@@ -40,12 +40,19 @@ from __future__ import annotations
 
 import heapq
 import math
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.sim.dem import DetectorErrorModel
 
+if TYPE_CHECKING:
+    from scipy.sparse import csr_matrix
+
 BOUNDARY = "boundary"
+
+#: A graph node: a detector index, or the ``BOUNDARY`` sentinel string.
+Node = int | str
 
 #: Above this many nodes (detectors + boundary) the all-pairs matrices
 #: are skipped and per-source Dijkstra is used on demand instead.
@@ -63,10 +70,10 @@ class Adjacency(dict):
     :meth:`number_of_edges`) without the library dependency.
     """
 
-    def add_node(self, u) -> None:
+    def add_node(self, u: Node) -> None:
         self.setdefault(u, {})
 
-    def add_edge(self, u, v, **attrs) -> None:
+    def add_edge(self, u: Node, v: Node, **attrs: object) -> None:
         self.setdefault(u, {})[v] = attrs
         self.setdefault(v, {})[u] = attrs
 
@@ -207,7 +214,7 @@ class DecodingGraph:
             anc = np.take_along_axis(anc, anc, axis=1)
         return dist, parity
 
-    def ensure_csr(self):
+    def ensure_csr(self) -> csr_matrix:
         """Sparse CSR adjacency over ``num_detectors + 1`` nodes, cached.
 
         One direction per edge (callers pass ``directed=False`` to the
@@ -227,22 +234,22 @@ class DecodingGraph:
             )
         return self._csr
 
-    def node_index(self, node) -> int:
+    def node_index(self, node: Node) -> int:
         """Matrix index of a graph node (detector int or ``BOUNDARY``)."""
         return self.boundary_index if node == BOUNDARY else int(node)
 
-    def distance(self, u, v) -> float:
+    def distance(self, u: Node, v: Node) -> float:
         """Shortest-path weight between two nodes (matrix lookup)."""
         dist, _ = self.ensure_matrices()
         return float(dist[self.node_index(u), self.node_index(v)])
 
-    def parity(self, u, v) -> int:
+    def parity(self, u: Node, v: Node) -> int:
         """Observable parity along one shortest ``u``–``v`` path."""
         _, par = self.ensure_matrices()
         return int(par[self.node_index(u), self.node_index(v)])
 
     # -- legacy per-source queries -------------------------------------
-    def shortest(self, source) -> tuple[dict, dict]:
+    def shortest(self, source: Node) -> tuple[dict, dict]:
         """Dijkstra distances and paths from ``source`` (cached).
 
         Returns ``(dist, path)`` dicts over reachable nodes, ``path``
@@ -281,7 +288,7 @@ class DecodingGraph:
     def path_observable_parity(self, path: list) -> int:
         """XOR of edge observable bits along a node path."""
         parity = 0
-        for u, v in zip(path, path[1:]):
+        for u, v in zip(path, path[1:], strict=False):
             if self.graph[u][v]["observable"]:
                 parity ^= 1
         return parity

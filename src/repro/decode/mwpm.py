@@ -354,7 +354,7 @@ class MatchingDecoder(Decoder):
                 candidates.append((float(b_dist[i]), i, -1))
         candidates.sort(key=lambda item: item[0])
         parity = 0
-        for w, i, j in candidates:
+        for _w, i, j in candidates:
             if i not in remaining:
                 continue
             if j == -1:
@@ -658,7 +658,7 @@ class MatchingDecoder(Decoder):
             candidates.append((w, d, None))
         candidates.sort(key=lambda item: item[0])
         parity = 0
-        for w, a, b in candidates:
+        for _w, a, b in candidates:
             if a not in remaining:
                 continue
             if b is None:

@@ -69,6 +69,7 @@ import numpy as np
 from repro.decode import blossom as _blossom
 from repro.decode.batch import _DP_STACK_MAX
 from repro.decode.blossom import blossom_core
+from repro.decode.graph import DecodingGraph
 
 __all__ = [
     "SPARSE_MIN_DEFECTS",
@@ -109,7 +110,9 @@ _KNN_SEEDS = 3
 _EPS = 1e-9
 
 
-def knn_candidates(W: np.ndarray, seeds: int = _KNN_SEEDS):
+def knn_candidates(
+    W: np.ndarray, seeds: int = _KNN_SEEDS
+) -> tuple[np.ndarray, np.ndarray]:
     """Each defect's ``seeds`` nearest partners, as candidate pairs.
 
     ``W`` is the component's reduced cost matrix (pair route or
@@ -138,7 +141,9 @@ def knn_candidates(W: np.ndarray, seeds: int = _KNN_SEEDS):
     return codes // k, codes % k
 
 
-def knn_candidates_batch(W: np.ndarray, seeds: int = _KNN_SEEDS):
+def knn_candidates_batch(
+    W: np.ndarray, seeds: int = _KNN_SEEDS
+) -> list[tuple[np.ndarray, np.ndarray]]:
     """:func:`knn_candidates` for a ``(group, k, k)`` stack at once.
 
     One batched ``argsort``/``unique`` pass replaces ``group``
@@ -172,7 +177,9 @@ def knn_candidates_batch(W: np.ndarray, seeds: int = _KNN_SEEDS):
     return out
 
 
-def region_candidates(graph, det_ids):
+def region_candidates(
+    graph: DecodingGraph, det_ids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
     """Candidate pairs from Voronoi region growth on the decoding graph.
 
     Grows a shortest-path region around every defect node — and around
@@ -224,7 +231,7 @@ def sparse_match(
     W: np.ndarray,
     b_dist: np.ndarray,
     *,
-    seeds=None,
+    seeds: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> tuple[list[int], float]:
     """Exact matching of one component from sparse candidate edges.
 
@@ -306,7 +313,14 @@ def sparse_match(
 
 
 def sparse_match_parity(
-    k, W, use_pair, P, b_dist, b_par, *, seeds=None
+    k: int,
+    W: np.ndarray,
+    use_pair: np.ndarray,
+    P: np.ndarray,
+    b_dist: np.ndarray,
+    b_par: np.ndarray,
+    *,
+    seeds: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> int:
     """Observable parity of one component's sparse matching.
 

@@ -95,8 +95,10 @@ class UnionFindDecoder(Decoder):
         for d in defects:
             parity[d] ^= 1
         # Identical defects cancel; seed one cluster per odd defect.
+        # Sorted so cluster creation order (and every tie downstream)
+        # is independent of set hash order.
         active = set()
-        for d in set(defects):
+        for d in sorted(set(defects)):
             if parity[d]:
                 frontier[d] = list(self.adjacency[d])
                 active.add(d)

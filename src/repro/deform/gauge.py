@@ -25,7 +25,7 @@ __all__ = ["stabilizers_containing", "s2s_merge", "reroute_logical_off"]
 
 
 def stabilizers_containing(
-    code: SubsystemCode, qubit, basis: str
+    code: SubsystemCode, qubit: object, basis: str
 ) -> list[StabilizerGenerator]:
     """Stabilizer generators of ``basis`` whose support contains ``qubit``."""
     return [

@@ -151,7 +151,7 @@ def _cached_decoder(
         frozenset(defective_data or ()),
         frozenset(defective_ancillas or ()),
     )
-    key = config_key + (method,)
+    key = (*config_key, method)
     decoder = _DECODER_CACHE.get(key)
     if decoder is not None:
         _DECODER_CACHE.move_to_end(key)
@@ -241,7 +241,7 @@ def chunk_plan(
     children = np.random.SeedSequence(seed).spawn(len(sizes))
     return [
         (int(child.generate_state(1)[0]), n)
-        for child, n in zip(children, sizes)
+        for child, n in zip(children, sizes, strict=True)
     ]
 
 

@@ -31,9 +31,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.layout.generator import LayoutSpec
 from repro.layout.grid import LogicalLayout
 from repro.layout.routing import Router
+
+if TYPE_CHECKING:
+    from repro.codes.subsystem import SubsystemCode
+    from repro.sim import NoiseModel
 
 __all__ = [
     "ThroughputResult",
@@ -186,8 +192,8 @@ class DecodeThroughputResult:
 
 
 def decoding_throughput(
-    code,
-    noise,
+    code: SubsystemCode,
+    noise: NoiseModel,
     *,
     basis: str = "Z",
     rounds: int | None = None,

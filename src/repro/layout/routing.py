@@ -99,7 +99,7 @@ class Router:
                 if path is None:
                     still_pending.append((control, target))
                     continue
-                for u, v in zip(path, path[1:]):
+                for u, v in zip(path, path[1:], strict=False):
                     graph.remove_edge(u, v)
                 for node in path:
                     if node in graph and graph.degree(node) == 0:

@@ -91,7 +91,7 @@ def _expand_channels(circuit: Circuit) -> list[tuple[int, dict[int, str], float]
                 for letter in "XYZ":
                     mechanisms.append((pos, {q: letter}, p / 3))
         elif inst.name == "DEPOLARIZE2":
-            pairs = list(zip(inst.targets[0::2], inst.targets[1::2]))
+            pairs = list(zip(inst.targets[0::2], inst.targets[1::2], strict=True))
             letters = ["I", "X", "Y", "Z"]
             for a, b in pairs:
                 for la in letters:

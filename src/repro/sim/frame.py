@@ -572,7 +572,7 @@ def propagate_injections_packed(
         positions = np.asarray([pos for pos, _, _ in injections])
         op_of = np.searchsorted(program.op_positions, positions, side="left")
         grouped: dict[tuple[int, str], tuple[list[int], list[int]]] = {}
-        for j, ((_, qubit, basis), op_i) in enumerate(zip(injections, op_of)):
+        for j, ((_, qubit, basis), op_i) in enumerate(zip(injections, op_of, strict=True)):
             rows, bits = grouped.setdefault((int(op_i), basis), ([], []))
             rows.append(qubit)
             bits.append(j)

@@ -22,11 +22,13 @@ processes inherit the parent's store.
 from __future__ import annotations
 
 import os
+from collections.abc import Iterator
 from contextlib import contextmanager
 from pathlib import Path
 
 from repro.store.artifacts import STORE_FORMAT, ArtifactStore, key_digest
 from repro.store.atomic import atomic_write_bytes, atomic_write_text, durable_append
+from repro.utils.env import env_str
 
 __all__ = [
     "ArtifactStore",
@@ -62,8 +64,8 @@ def get_store() -> ArtifactStore | None:
     global _ENV_STORE
     if _ACTIVE_STORE is not _UNSET:
         return _ACTIVE_STORE  # type: ignore[return-value]
-    env = os.environ.get("REPRO_STORE")
-    if not env:
+    env = env_str("REPRO_STORE")
+    if env is None:
         return None
     if _ENV_STORE is None or _ENV_STORE[0] != env:
         _ENV_STORE = (env, ArtifactStore(Path(env)))
@@ -71,7 +73,9 @@ def get_store() -> ArtifactStore | None:
 
 
 @contextmanager
-def using_store(store: ArtifactStore | str | os.PathLike | None):
+def using_store(
+    store: ArtifactStore | str | os.PathLike | None,
+) -> Iterator[ArtifactStore | None]:
     """Scope the process-wide store to a ``with`` block."""
     global _ACTIVE_STORE
     previous = _ACTIVE_STORE

@@ -38,6 +38,8 @@ import pickle
 import uuid
 from pathlib import Path
 
+from collections.abc import Callable
+
 from repro.store.atomic import atomic_write_bytes
 
 __all__ = ["ArtifactStore", "key_digest", "STORE_FORMAT"]
@@ -49,7 +51,7 @@ STORE_FORMAT = 1
 _MAGIC = "repro-artifact"
 
 
-def _canonical(obj) -> str:
+def _canonical(obj: object) -> str:
     """Deterministic textual form of a content key.
 
     Unordered collections are sorted by their canonical forms and
@@ -78,7 +80,7 @@ def _canonical(obj) -> str:
     return repr(obj)
 
 
-def key_digest(key) -> str:
+def key_digest(key: object) -> str:
     """Stable SHA-256 hex digest of a content key."""
     text = f"v{STORE_FORMAT}:{_canonical(key)}"
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
@@ -111,7 +113,7 @@ class ArtifactStore:
         return self.root / "quarantine"
 
     # -- core API -------------------------------------------------------
-    def get(self, kind: str, key) -> object | None:
+    def get(self, kind: str, key: object) -> object | None:
         """The stored value, or ``None`` on miss/corruption."""
         digest = key_digest(key)
         path = self._entry_path(kind, digest)
@@ -133,7 +135,7 @@ class ArtifactStore:
         self.hits += 1
         return value
 
-    def put(self, kind: str, key, value) -> bool:
+    def put(self, kind: str, key: object, value: object) -> bool:
         """Persist ``value``; returns whether the write committed."""
         digest = key_digest(key)
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
@@ -161,7 +163,9 @@ class ArtifactStore:
         self.writes += 1
         return True
 
-    def get_or_build(self, kind: str, key, builder):
+    def get_or_build(
+        self, kind: str, key: object, builder: Callable[[], object]
+    ) -> object:
         """Load ``(kind, key)``, or build, persist, and return it."""
         value = self.get(kind, key)
         if value is not None:

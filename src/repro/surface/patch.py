@@ -226,7 +226,9 @@ class SurfacePatch:
                 result.append(check)
         return result
 
-    def stabilizers_on(self, coord: Coord, basis: str | None = None):
+    def stabilizers_on(
+        self, coord: Coord, basis: str | None = None
+    ) -> list:
         """Stabilizer generators whose support contains ``coord``."""
         result = []
         for gen in self.code.stabilizers.values():

@@ -37,6 +37,7 @@ from __future__ import annotations
 import signal
 import threading
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -236,10 +237,10 @@ def run_sweep(
     max_attempts: int = 3,
     backoff_base: float = 0.25,
     chunk_timeout: float | None = None,
-    chunk_hook=None,
-    artifact_store: ArtifactStore | str | os.PathLike | None | str = "auto",
+    chunk_hook: Callable[[dict], object] | None = None,
+    artifact_store: ArtifactStore | str | os.PathLike | None = "auto",
     strict: bool = True,
-    sleep=time.sleep,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> SweepResult:
     """Run (or resume) a sweep, checkpointing after every chunk.
 
@@ -335,7 +336,11 @@ def run_sweep(
                     resumed += 1
                     continue
 
-                def run_chunk():
+                # Loop state is bound through default args so the
+                # closure can never see a later iteration's values
+                # (flake8-bugbear B023).
+                def run_chunk(cell=cell, code=code, noise=noise,
+                              rounds=rounds, n=n, chunk_seed=chunk_seed):
                     with _chunk_guard(chunk_timeout):
                         return memory_experiment(
                             code,

@@ -1,0 +1,70 @@
+"""One grammar for every ``REPRO_*`` environment toggle.
+
+Before this module each toggle hand-rolled its own ``os.environ.get``
+check, and the semantics disagreed: ``REPRO_PURE_BLOSSOM=0`` used to
+*enable* pure mode (any non-empty string was truthy).  Every toggle now
+parses through one documented grammar:
+
+* truthy: ``1``, ``true``, ``yes``, ``on``
+* falsy: ``0``, ``false``, ``no``, ``off``, and the empty string
+* matching is case-insensitive and ignores surrounding whitespace
+* unset means the caller's default
+* anything else raises :class:`ValueError` — a misspelled toggle must
+  fail loudly, not silently run the wrong configuration
+
+The repo's toggles:
+
+==========================  ==========================================
+``REPRO_PURE_BLOSSOM``      flag — force the pure-Python blossom
+                            engine even when the compiled kernel built
+``REPRO_STORE``             path — directory enabling the process-wide
+                            artifact store (empty/unset disables)
+``REPRO_BENCH_SCALE``       float — scales benchmark shot counts
+==========================  ==========================================
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["env_flag", "env_float", "env_str"]
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+_FALSY = frozenset({"", "0", "false", "no", "off"})
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Parse a boolean toggle per the module grammar."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if value in _TRUTHY:
+        return True
+    if value in _FALSY:
+        return False
+    raise ValueError(
+        f"{name}={raw!r} is not a recognised flag value; use one of "
+        f"{sorted(_TRUTHY)} / {sorted(_FALSY)} (case-insensitive)"
+    )
+
+
+def env_str(name: str, default: str | None = None) -> str | None:
+    """A string-valued variable; empty or unset means ``default``."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    return raw
+
+
+def env_float(name: str, default: float) -> float:
+    """A float-valued variable; empty or unset means ``default``."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name}={raw!r} is not a valid float"
+        ) from None

@@ -1,0 +1,12 @@
+# virtual-path: src/repro/decode/bad_import.py
+# Seeded violation: networkx back in the decode hot path (REP001 x2).
+import networkx as nx
+from networkx.algorithms import matching
+
+
+def shortest(graph, a, b):
+    return nx.shortest_path(graph, a, b, weight="weight")
+
+
+def match(graph):
+    return matching.min_weight_matching(graph)

@@ -1,0 +1,9 @@
+# virtual-path: src/repro/layout/ok_import.py
+# networkx is allowed outside src/repro/decode/ (layout, codes).
+import networkx as nx
+
+
+def build(edges):
+    graph = nx.Graph()
+    graph.add_edges_from(edges)
+    return graph

@@ -1,0 +1,18 @@
+# virtual-path: src/repro/eval/bad_write.py
+# Seeded violation: durable writes around the store (REP002 x4).
+import pickle
+from pathlib import Path
+
+
+def save_results(path, results):
+    with open(path, "w") as f:
+        f.write(repr(results))
+
+
+def save_pickle(path, obj):
+    with open(path, "wb") as f:
+        pickle.dump(obj, f)
+
+
+def save_text(path, text):
+    Path(path).write_text(text)

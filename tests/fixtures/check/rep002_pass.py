@@ -1,0 +1,22 @@
+# virtual-path: src/repro/eval/good_write.py
+# Reads, pickle.dumps (bytes in memory) and the store helpers are fine.
+import pickle
+
+from repro.store import atomic_write_bytes, atomic_write_text, durable_append
+
+
+def load_config(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return f.read()
+
+
+def save_results(path, results):
+    atomic_write_text(path, repr(results))
+
+
+def save_pickle(path, obj):
+    atomic_write_bytes(path, pickle.dumps(obj))
+
+
+def log_line(path, line):
+    durable_append(path, line)

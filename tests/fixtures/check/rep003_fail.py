@@ -1,0 +1,17 @@
+# virtual-path: src/repro/sim/bad_rng.py
+# Seeded violation: global-state RNG (REP003 x5).
+import random
+
+import numpy as np
+from numpy.random import shuffle
+
+
+def sample(n):
+    np.random.seed(1234)
+    values = np.random.randint(0, 2, size=n)
+    shuffle(values)
+    return values
+
+
+def jitter():
+    return random.random() + random.gauss(0.0, 1.0)

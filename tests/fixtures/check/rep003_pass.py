@@ -1,0 +1,13 @@
+# virtual-path: src/repro/sim/good_rng.py
+# Explicit Generator/SeedSequence plumbing is the sanctioned pattern.
+import numpy as np
+from numpy.random import SeedSequence, default_rng
+
+
+def sample(n, seed):
+    rng = default_rng(SeedSequence(seed))
+    return rng.integers(0, 2, size=n)
+
+
+def child_streams(seed, k):
+    return [np.random.default_rng(s) for s in SeedSequence(seed).spawn(k)]

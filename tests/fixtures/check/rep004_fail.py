@@ -1,0 +1,14 @@
+# virtual-path: src/repro/decode/bad_order.py
+# Seeded violation: unordered selection/iteration in decode (REP004 x4).
+import numpy as np
+
+
+def knn_seeds(weights, k):
+    return np.argpartition(weights, k)[:k]
+
+
+def component_nodes(defects):
+    ordered = list(set(defects))
+    for d in set(defects):
+        ordered.append(d)
+    return [d * 2 for d in {1, 2, 3}] + ordered

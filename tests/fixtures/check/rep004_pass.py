@@ -1,0 +1,14 @@
+# virtual-path: src/repro/decode/good_order.py
+# Stable (weight, index) argsort and sorted set materialisation.
+import numpy as np
+
+
+def knn_seeds(weights, k):
+    order = np.lexsort((np.arange(weights.size), weights))
+    return order[:k]
+
+
+def component_nodes(defects):
+    ordered = sorted(set(defects))
+    for d in ordered:
+        yield d

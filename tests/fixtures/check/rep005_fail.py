@@ -1,0 +1,18 @@
+# virtual-path: src/repro/eval/bad_load.py
+# Seeded violation: unverified unpickle outside the store (REP005 x3).
+import pickle
+
+import numpy as np
+
+
+def load_cache(path):
+    with open(path, "rb") as f:
+        return pickle.load(f)
+
+
+def load_blob(blob):
+    return pickle.loads(blob)
+
+
+def load_matrix(path):
+    return np.load(path, allow_pickle=True)

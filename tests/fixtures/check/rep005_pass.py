@@ -1,0 +1,17 @@
+# virtual-path: src/repro/eval/good_load.py
+# The store verifies length + SHA-256 before unpickling; plain np.load
+# without allow_pickle never executes bytecode.
+import numpy as np
+
+from repro.store import get_store
+
+
+def load_cache(kind, key, builder):
+    store = get_store()
+    if store is None:
+        return builder()
+    return store.get_or_build(kind, key, builder)
+
+
+def load_matrix(path):
+    return np.load(path, allow_pickle=False)

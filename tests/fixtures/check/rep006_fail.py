@@ -1,0 +1,21 @@
+# virtual-path: src/repro/eval/bad_seed.py
+# Seeded violation: wall-clock seed + fork-unsafe pools (REP006 x3).
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def fresh_seed():
+    return int(time.time() * 1e6)
+
+
+def decode_parallel(shards, fn):
+    with multiprocessing.Pool(4) as pool:
+        return pool.map(fn, shards)
+
+
+def decode_futures(shards, fn):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(fn, shards))

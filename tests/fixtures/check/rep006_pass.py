@@ -1,0 +1,15 @@
+# virtual-path: src/repro/eval/good_seed.py
+# perf_counter for measurement, SeedSequence for entropy.
+import time
+
+from numpy.random import SeedSequence
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def derive_seeds(root_seed, k):
+    return SeedSequence(root_seed).spawn(k)

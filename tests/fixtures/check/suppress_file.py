@@ -1,0 +1,12 @@
+# virtual-path: src/repro/sim/suppressed_file.py
+# repcheck: file-ignore[REP003]
+# File-wide suppression of one rule; other rules still fire.
+import numpy as np
+
+
+def sample(n):
+    return np.random.randint(0, 2, size=n)
+
+
+def seeds(weights, k):
+    return np.argpartition(weights, k)[:k]

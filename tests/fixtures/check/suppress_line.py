@@ -1,0 +1,14 @@
+# virtual-path: src/repro/decode/suppressed_line.py
+# Per-line, per-rule suppression: the bracketed code is suppressed,
+# everything else still fires.
+import numpy as np
+
+
+def tail_partition(weights, k):
+    # Order never feeds decode output here: only the *membership* of
+    # the tail set is used, which argpartition does guarantee.
+    return np.argpartition(weights, k)[:k]  # repcheck: ignore[REP004]
+
+
+def wrong_code_does_not_suppress(weights, k):
+    return np.argpartition(weights, k)[:k]  # repcheck: ignore[REP001]

@@ -52,7 +52,7 @@ def networkx_reference(cost):
     graph.add_nodes_from(range(n))
     if iu.size:
         big = 1.0 + 2.0 * float(cost[iu, ju].max())
-        for i, j in zip(iu, ju):
+        for i, j in zip(iu, ju, strict=True):
             graph.add_edge(int(i), int(j), weight=big - cost[i, j])
     matching = nx.max_weight_matching(graph, maxcardinality=True)
     return len(matching), sum(cost[u, v] for u, v in matching)

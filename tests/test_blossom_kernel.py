@@ -78,7 +78,7 @@ def random_graphs(draw):
 
 
 def matched_weight(n, ei, ej, ew, mate):
-    lut = {(a, b): w for a, b, w in zip(ei, ej, ew)}
+    lut = {(a, b): w for a, b, w in zip(ei, ej, ew, strict=True)}
     total = 0.0
     for v in range(n):
         if 0 <= mate[v] and v < mate[v]:
@@ -117,7 +117,7 @@ class TestKernelIdentity:
             z = np.asarray(duals[n:])
             assert (z >= -1e-9).all()
             u = np.asarray(duals[:n])
-            for a, b, w in zip(ei, ej, ew):
+            for a, b, w in zip(ei, ej, ew, strict=True):
                 assert u[a] + u[b] - 2.0 * w + 2.0 * z.sum() >= -1e-9
 
     def test_numpy_inputs_match_list_inputs(self):

@@ -272,7 +272,7 @@ def networkx_reduced_weight(decoder, sample):
     graph = nx.Graph()
     graph.add_nodes_from(range(k))
     iu, ju = np.nonzero(np.triu(finite, 1))
-    for i, j in zip(iu, ju):
+    for i, j in zip(iu, ju, strict=True):
         graph.add_edge(int(i), int(j), weight=big - W[i, j])
     if k % 2:
         for i in range(k):

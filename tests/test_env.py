@@ -1,0 +1,77 @@
+"""The shared REPRO_* toggle grammar (repro.utils.env)."""
+
+import pytest
+
+from repro.utils.env import env_flag, env_float, env_str
+
+
+class TestEnvFlag:
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " on ", "True"])
+    def test_truthy(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TEST_FLAG", value)
+        assert env_flag("REPRO_TEST_FLAG") is True
+
+    @pytest.mark.parametrize("value", ["0", "false", "No", " OFF ", ""])
+    def test_falsy(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TEST_FLAG", value)
+        assert env_flag("REPRO_TEST_FLAG", default=True) is False
+
+    def test_unset_uses_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_FLAG", raising=False)
+        assert env_flag("REPRO_TEST_FLAG") is False
+        assert env_flag("REPRO_TEST_FLAG", default=True) is True
+
+    def test_unrecognised_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLAG", "maybe")
+        with pytest.raises(ValueError, match="REPRO_TEST_FLAG"):
+            env_flag("REPRO_TEST_FLAG")
+
+
+class TestEnvStr:
+    def test_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_STR", "/tmp/store")
+        assert env_str("REPRO_TEST_STR") == "/tmp/store"
+
+    @pytest.mark.parametrize("value", ["", "   "])
+    def test_blank_means_default(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TEST_STR", value)
+        assert env_str("REPRO_TEST_STR") is None
+        assert env_str("REPRO_TEST_STR", "fallback") == "fallback"
+
+    def test_unset_means_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_STR", raising=False)
+        assert env_str("REPRO_TEST_STR") is None
+
+
+class TestEnvFloat:
+    def test_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_SCALE", "2.5")
+        assert env_float("REPRO_TEST_SCALE", 1.0) == 2.5
+
+    def test_unset_and_blank_mean_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_SCALE", raising=False)
+        assert env_float("REPRO_TEST_SCALE", 1.0) == 1.0
+        monkeypatch.setenv("REPRO_TEST_SCALE", "")
+        assert env_float("REPRO_TEST_SCALE", 1.0) == 1.0
+
+    def test_bad_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_SCALE", "fast")
+        with pytest.raises(ValueError, match="REPRO_TEST_SCALE"):
+            env_float("REPRO_TEST_SCALE", 1.0)
+
+
+class TestWiredToggles:
+    """The real toggles parse through the shared grammar."""
+
+    def test_store_toggle_blank_disables(self, monkeypatch):
+        from repro import store
+
+        monkeypatch.setenv("REPRO_STORE", "")
+        monkeypatch.setattr(store, "_ACTIVE_STORE", store._UNSET)
+        assert store.get_store() is None
+
+    def test_pure_blossom_zero_means_compiled(self, monkeypatch):
+        # REPRO_PURE_BLOSSOM=0 must parse as *false* (the historical
+        # ad-hoc check treated any non-empty string as true).
+        monkeypatch.setenv("REPRO_PURE_BLOSSOM", "0")
+        assert env_flag("REPRO_PURE_BLOSSOM") is False

@@ -54,7 +54,7 @@ class TestDefectStorms:
         patch = rotated_surface_code(7)
         unit = CodeDeformationUnit(max_layers_per_side=3)
         model = CosmicRayModel(seed=99)
-        for wave in range(3):
+        for _wave in range(3):
             defects = model.sample_defective_qubits(
                 patch.all_qubit_coords(), 2
             )
@@ -120,5 +120,5 @@ class TestDistanceAlgorithmsAgree:
             return
         graph = code_distance(patch.code)
         exact = code_distance(patch.code, exact=True)
-        for g, e in zip(graph, exact):
+        for g, e in zip(graph, exact, strict=True):
             assert 1 <= g <= e

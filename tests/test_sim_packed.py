@@ -54,7 +54,7 @@ def assert_same_dem(circuit):
     assert packed.num_observables == legacy.num_observables
     assert packed.dropped_hyperedges == legacy.dropped_hyperedges
     assert len(packed.mechanisms) == len(legacy.mechanisms)
-    for got, want in zip(packed.mechanisms, legacy.mechanisms):
+    for got, want in zip(packed.mechanisms, legacy.mechanisms, strict=True):
         assert got.detectors == want.detectors
         assert got.observable_flip == want.observable_flip
         assert got.probability == pytest.approx(want.probability, abs=1e-12)
@@ -101,7 +101,7 @@ class TestDEMAgreement:
         c = toy_circuit()
         legacy = build_dem(c, merge=False, method="legacy")
         packed = build_dem(c, merge=False)
-        for got, want in zip(packed.mechanisms, legacy.mechanisms):
+        for got, want in zip(packed.mechanisms, legacy.mechanisms, strict=True):
             assert got.detectors == want.detectors
             assert got.probability == pytest.approx(want.probability, abs=1e-12)
 

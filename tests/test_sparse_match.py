@@ -125,7 +125,7 @@ class TestEngineEquality:
         W = np.minimum(W, W.T)
         np.fill_diagonal(W, np.inf)
         ei, ej = knn_candidates(W)
-        pairs = set(zip(ei.tolist(), ej.tolist()))
+        pairs = set(zip(ei.tolist(), ej.tolist(), strict=True))
         assert all(i < j for i, j in pairs)
         masked = np.where(np.eye(9, dtype=bool), np.inf, W)
         for i in range(9):

@@ -99,9 +99,10 @@ class TestRunSweep:
         # Rebuild a journal holding the header and only the first two
         # chunk records — a sweep killed mid-cell-0.
         records, _ = read_journal(full.journal_path)
-        kept = [records[0]] + [
-            r for r in records if r.get("type") == "chunk"
-        ][:2]
+        kept = [
+            records[0],
+            *[r for r in records if r.get("type") == "chunk"][:2],
+        ]
         partial_dir = tmp_path / "partial"
         partial_dir.mkdir()
         (partial_dir / "journal.jsonl").write_text(

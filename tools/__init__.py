@@ -1,0 +1,1 @@
+"""Repo-owned developer tooling (not shipped with the ``repro`` package)."""

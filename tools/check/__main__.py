@@ -1,0 +1,83 @@
+"""CLI: ``python -m tools.check src/ tests/ benchmarks/``.
+
+Exit status: 0 on a clean tree, 1 when findings survive suppression,
+2 on usage errors or unparseable files (a syntax error is not a lint
+finding — the tree is broken in a way the test suite will also see).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from tools.check.engine import run_paths
+from tools.check.rules import ALL_RULES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.check",
+        description="Repo-owned invariant checker (REP rules).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to check (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write findings as a JSON array to FILE ('-' for stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+
+    for entry in args.paths:
+        if not Path(entry).exists():
+            print(f"tools.check: no such path: {entry}", file=sys.stderr)
+            return 2
+
+    try:
+        findings = run_paths(args.paths, ALL_RULES)
+    except SyntaxError as exc:
+        print(f"tools.check: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
+              file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding.render())
+
+    if args.json:
+        payload = json.dumps([f.as_json() for f in findings], indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            # The findings file is CI debug output, not a durable
+            # artifact of the runtime — a plain write is fine here.
+            Path(args.json).write_text(payload, encoding="utf-8")
+
+    if findings:
+        print(
+            f"tools.check: {len(findings)} finding"
+            f"{'s' if len(findings) != 1 else ''} "
+            "(suppress a justified one with '# repcheck: ignore[REPNNN]')",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,244 @@
+"""Rule engine: file walking, import resolution, suppressions, reporting.
+
+A rule is a class with a ``code``, a one-line ``summary``, an
+``applies(relpath)`` path predicate and a ``check(tree, ctx)`` visitor
+that yields findings.  The engine owns everything else: discovering
+files, parsing them once, resolving import aliases so rules can match
+on *dotted origins* (``np.random.randint`` and ``from numpy.random
+import randint`` are the same violation), honouring suppression
+comments, and rendering/serialising findings.
+
+Paths are matched repo-relative with POSIX separators, so rules can
+scope themselves with plain prefixes (``src/repro/decode/``).  Fixture
+files used by the checker's own tests pass a *virtual* path to
+:func:`check_source` to exercise a scope without living in it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "ImportMap",
+    "Rule",
+    "check_source",
+    "iter_python_files",
+    "run_paths",
+]
+
+#: Directories never walked: fixture trees deliberately violate rules,
+#: build/ holds generated copies, hidden dirs hold VCS/tool state.
+_SKIP_DIR_NAMES = frozenset({"build", "dist", "__pycache__", "fixtures"})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repcheck:\s*(?P<scope>file-)?ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_json(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class ImportMap:
+    """Resolve local names to the dotted origin they were imported from.
+
+    ``import numpy as np`` maps ``np`` -> ``numpy``; ``from numpy import
+    random as nr`` maps ``nr`` -> ``numpy.random``; attribute chains
+    extend the origin, so ``np.random.randint`` resolves to
+    ``numpy.random.randint``.  Names bound by assignment or function
+    parameters are not tracked — rules match what a file *imports*, not
+    what it computes, which keeps them free of false positives on local
+    variables that happen to share a module's name.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._origins: dict[str, str] = {}
+        self._shadowed: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    origin = alias.name if alias.asname else local
+                    self._origins[local] = origin
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports stay repo-internal
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._origins[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted origin of a Name/Attribute chain, or ``None``."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        origin = self._origins.get(node.id)
+        if origin is None:
+            return None
+        parts.append(origin)
+        return ".".join(reversed(parts))
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule gets to look at for one file."""
+
+    relpath: str
+    source: str
+    tree: ast.AST
+    imports: ImportMap
+
+
+class Rule:
+    """Base class for checker rules; subclasses live in ``rules.py``."""
+
+    code: str = "REP000"
+    summary: str = ""
+
+    def applies(self, relpath: str) -> bool:
+        raise NotImplementedError
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.code,
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def _suppressions(source: str) -> tuple[dict[int, frozenset[str] | None], set[str] | None, bool]:
+    """Parse suppression comments.
+
+    Returns ``(line_map, file_rules, file_all)`` where ``line_map``
+    maps a 1-based line number to the rule codes suppressed there
+    (``None`` meaning *all* rules), ``file_rules`` is the set of codes
+    suppressed file-wide, and ``file_all`` is True when a bare
+    ``file-ignore`` suppresses everything.
+    """
+    line_map: dict[int, frozenset[str] | None] = {}
+    file_rules: set[str] = set()
+    file_all = False
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        codes = (
+            frozenset(c.strip() for c in rules.split(",") if c.strip())
+            if rules is not None
+            else None
+        )
+        if match.group("scope"):
+            if codes is None:
+                file_all = True
+            else:
+                file_rules.update(codes)
+        elif codes is None:
+            # Bare ignore: every rule on this line.
+            line_map[lineno] = None
+        else:
+            existing = line_map.get(lineno, frozenset())
+            if existing is not None:
+                line_map[lineno] = existing | codes
+    return line_map, file_rules, file_all
+
+
+def check_source(
+    source: str,
+    relpath: str,
+    rules: Sequence[Rule],
+) -> list[Finding]:
+    """Run ``rules`` over one file's text under a repo-relative path."""
+    applicable = [rule for rule in rules if rule.applies(relpath)]
+    if not applicable:
+        return []
+    tree = ast.parse(source, filename=relpath)
+    ctx = FileContext(
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        imports=ImportMap(tree),
+    )
+    line_map, file_rules, file_all = _suppressions(source)
+    if file_all:
+        return []
+    findings: list[Finding] = []
+    for rule in applicable:
+        if rule.code in file_rules:
+            continue
+        for finding in rule.check(ctx):
+            suppressed = line_map.get(finding.line, frozenset())
+            if suppressed is None or finding.rule in suppressed:
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str | Path], root: Path) -> Iterator[Path]:
+    """Yield ``*.py`` files under ``paths``, skipping fixture/build trees."""
+    for entry in paths:
+        path = Path(entry)
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            rel = candidate.relative_to(root) if candidate.is_relative_to(root) else candidate
+            if any(
+                part in _SKIP_DIR_NAMES or part.startswith(".")
+                for part in rel.parts[:-1]
+            ):
+                continue
+            yield candidate
+
+
+def run_paths(
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule],
+    root: str | Path | None = None,
+) -> list[Finding]:
+    """Check every python file under ``paths``; findings sorted by location."""
+    base = Path(root) if root is not None else Path.cwd()
+    findings: list[Finding] = []
+    for path in iter_python_files(paths, base):
+        resolved = path if path.is_absolute() else base / path
+        try:
+            relpath = resolved.relative_to(base).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        findings.extend(check_source(path.read_text(encoding="utf-8"), relpath, rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
