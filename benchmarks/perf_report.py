@@ -34,6 +34,14 @@ distance only), each record carrying ``workers`` and
 ``parallel_efficiency`` — rate(w) / (w × rate(1)) — so forked-pool
 scaling is visible wherever the hardware has cores even though CI's
 container has one.
+``--benchmarks glue`` adds the stage-timing breakdown: per distance
+and input flavour (``blossom`` uint8 rows, ``blossom_packed``
+bitplanes) the decode wall time is attributed to ``dedup`` (row
+packing + the word-packed axis-0 ``np.unique``), ``gathers`` (stacked
+all-pairs fancy indexing), ``dp`` (stacked subset-DP buckets),
+``engine`` (oversize matching-engine calls), ``other`` and ``total``
+via accumulating timers wrapped around the pipeline's internal seams,
+so a glue regression is attributable to a stage, not just a total.
 ``--smoke`` is the CI gate: a d = 3 decode tripwire with a small shot
 plan, written to ``BENCH_decode.smoke.json`` so the committed report
 is untouched, exiting nonzero if matrix blossom falls below
@@ -47,7 +55,7 @@ region-growing matcher is slower than the dense blossom there
 ``BENCH_decode.json`` record schema — every record carries::
 
     {"benchmark":      "build" | "dem_build" | "sample" | "decode"
-                       | "scaling" | "match_smoke",
+                       | "scaling" | "match_smoke" | "glue",
      "distance":       3 | 5 | 7 | 9,
      "method":         benchmark-specific label (decode: "blossom",
                        "uf", "greedy", "blossom_legacy"; scaling:
@@ -59,7 +67,9 @@ region-growing matcher is slower than the dense blossom there
 plus benchmark-specific bookkeeping: ``rounds`` (all), ``seconds``
 (build/dem_build), ``mechanism_count`` (dem_build), ``shots`` (sample/
 decode/scaling), ``components``/``mean_defects``/``noise_p``
-(match_smoke), for decode and scaling records ``reps`` (cold-cache
+(match_smoke), ``stage``/``seconds``/``fraction`` (glue — one record
+per :data:`GLUE_STAGES` entry), for decode and scaling records
+``reps`` (cold-cache
 repetitions) and ``workers`` — the process-pool width used by
 ``decode_batch``; ``1`` means the serial path — and for scaling
 records ``parallel_efficiency`` (rate(w) / (w × rate(1))).  Every
@@ -98,8 +108,15 @@ from repro.surface import rotated_surface_code
 
 ROUNDS = 25
 NOISE_P = 1e-3
-BENCHMARKS = ("build", "sample", "decode", "scaling")
+BENCHMARKS = ("build", "sample", "decode", "scaling", "glue")
 DECODE_REPS = 3
+
+#: Stage labels of the ``glue`` benchmark, in report order.  The first
+#: four are accumulated by wrapping the pipeline's internal seams;
+#: ``other`` is the unattributed remainder (scatter, component
+#: labelling, small-k vector paths, cache bookkeeping) and ``total``
+#: the whole ``decode_batch`` wall time.
+GLUE_STAGES = ("dedup", "gathers", "dp", "engine", "other", "total")
 
 #: Pool widths the ``scaling`` benchmark sweeps (plus the machine's
 #: core count); parallel efficiency is rate(w) / (w × rate(1)).
@@ -255,7 +272,7 @@ def profile_distance(
         for _ in range(DECODE_REPS):
             dec = MatchingDecoder(dem, **kwargs)
             if name.startswith("blossom") and name != "blossom_legacy":
-                dec.graph.ensure_matrices()  # outside the timed region
+                dec.graph.ensure_route_tables()  # outside the timed region
             data = packed_detectors if name == "blossom_packed" else detectors[:n]
             t0 = time.perf_counter()
             dec.decode_batch(data)
@@ -275,6 +292,107 @@ def profile_distance(
     return records
 
 
+def _timed_seam(fn, acc: dict, key: str):
+    """Wrap ``fn`` so its wall time accumulates into ``acc[key]``."""
+
+    def wrapper(*args, **kwargs):
+        t0 = time.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            acc[key] += time.perf_counter() - t0
+
+    return wrapper
+
+
+def glue_benchmark(distance: int) -> list[dict]:
+    """Stage-attributed decode timing: where the numpy glue goes.
+
+    Wraps the batch pipeline's internal seams with accumulating timers
+    — ``dedup`` (row packing + the word-packed axis-0 ``np.unique``
+    front door), ``gathers`` (the stacked all-pairs fancy-indexing
+    passes), ``dp`` (the stacked subset-DP buckets), ``engine`` (the
+    oversize matching-engine calls, batched or per-component) — then
+    decodes one sampled batch per input flavour (uint8 rows and a
+    packed bitplane) and reports each stage's seconds and fraction of
+    the decode wall time.  A glue regression is then attributable to a
+    stage, not just a total.  The timers add a few µs per seam call,
+    so stage fractions are trustworthy but the ``total`` here is a
+    shade above the untraced ``decode`` benchmark's.
+    """
+    import repro.decode.base as base_mod
+    import repro.decode.batch as batch_mod
+    from repro.decode import mwpm as mwpm_mod
+    from repro.decode import sparse_match as sparse_mod
+
+    shots, _ = SHOT_PLAN.get(distance, (1000, 100))
+    patch = rotated_surface_code(distance)
+    circuit = memory_circuit(
+        patch.code, "Z", ROUNDS, NoiseModel.uniform(NOISE_P)
+    )
+    dem = build_dem(circuit)
+    sample_detectors(circuit, 64, seed=1)  # warm the compile cache
+    detectors, _ = sample_detectors(circuit, shots, seed=11)
+    packed_detectors, _ = sample_detectors(
+        circuit, shots, seed=11, packed_output=True
+    )
+    seams = (
+        (base_mod, "gf2_pack_rows", "dedup"),
+        (base_mod, "_packed_dedup", "dedup"),
+        (batch_mod, "_gather", "gathers"),
+        (batch_mod, "_pairable", "gathers"),
+        (batch_mod, "_dp_match_batch", "dp"),
+        (sparse_mod, "sparse_match_parity_batch", "engine"),
+        (mwpm_mod.MatchingDecoder, "_match_oversize", "engine"),
+    )
+    records: list[dict] = []
+    for method, data in (
+        ("blossom", detectors),
+        ("blossom_packed", packed_detectors),
+    ):
+        acc = dict.fromkeys(("dedup", "gathers", "dp", "engine"), 0.0)
+        originals = []
+        try:
+            for owner, name, key in seams:
+                fn = getattr(owner, name)
+                originals.append((owner, name, fn))
+                setattr(owner, name, _timed_seam(fn, acc, key))
+            dec = MatchingDecoder(dem)
+            dec.graph.ensure_route_tables()  # outside the timed region
+            t0 = time.perf_counter()
+            dec.decode_batch(data)
+            total = time.perf_counter() - t0
+        finally:
+            for owner, name, fn in originals:
+                setattr(owner, name, fn)
+        stage_seconds = dict(acc)
+        stage_seconds["other"] = max(total - sum(acc.values()), 0.0)
+        stage_seconds["total"] = total
+        for stage in GLUE_STAGES:
+            seconds = stage_seconds[stage]
+            records.append(
+                {
+                    "benchmark": "glue",
+                    "distance": distance,
+                    "method": method,
+                    "stage": stage,
+                    "shots_per_sec": _rate(shots, seconds),
+                    "seconds": seconds,
+                    "fraction": (
+                        seconds / total if total > 0 else float("nan")
+                    ),
+                    "shots": shots,
+                    "rounds": ROUNDS,
+                }
+            )
+        breakdown = "  ".join(
+            f"{stage}={stage_seconds[stage] / total:5.1%}"
+            for stage in GLUE_STAGES[:-1]
+        )
+        print(f"  glue/{method:<15} {total:6.3f}s  {breakdown}")
+    return records
+
+
 def _oversize_components(decoder, detectors):
     """Route arrays of every component past the sparse threshold.
 
@@ -282,8 +400,7 @@ def _oversize_components(decoder, detectors):
     kept here so the smoke gate times the matching engines alone —
     no caching, deduplication or DP buckets in the timed region.
     """
-    dist, par = decoder.graph.ensure_matrices()
-    b_col = decoder.graph.boundary_index
+    decoder.graph.ensure_route_tables()
     comps = []
     for row in detectors:
         defects = np.nonzero(row)[0]
@@ -292,7 +409,7 @@ def _oversize_components(decoder, detectors):
             continue
         det = defects[None, :]
         W, use_pair, pairable, P, b_dist, b_par = _gather(
-            dist, par, b_col, det
+            decoder.graph, det
         )
         k = len(defects)
         unassigned = np.ones(k, dtype=bool)
@@ -427,7 +544,7 @@ def scaling_benchmark(distance: int) -> list[dict]:
         for _ in range(DECODE_REPS):
             dec = MatchingDecoder(dem, workers=w if w > 1 else None)
             dec.min_shard_syndromes = 1
-            dec.graph.ensure_matrices()  # outside the timed region
+            dec.graph.ensure_route_tables()  # outside the timed region
             t0 = time.perf_counter()
             dec.decode_batch(detectors)
             seconds = min(seconds, time.perf_counter() - t0)
@@ -468,9 +585,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--distances", default="3,5,7,9")
     parser.add_argument(
         "--benchmarks",
-        default="build,sample,decode",
-        help="comma-separated subset of build,sample,decode,scaling "
-        "(scaling runs once at the largest selected distance)",
+        default="build,sample,decode,glue",
+        help="comma-separated subset of build,sample,decode,scaling,glue "
+        "(scaling runs once at the largest selected distance; glue "
+        "writes a per-distance decode stage-timing breakdown)",
     )
     parser.add_argument(
         "--workers",
@@ -534,7 +652,7 @@ def main(argv: list[str] | None = None) -> int:
     out_path = Path(args.out if args.out is not None else default_out)
 
     machine = _machine_metadata()
-    stage_benchmarks = benchmarks - {"scaling"}
+    stage_benchmarks = benchmarks - {"scaling", "glue"}
     all_records: list[dict] = []
     for d in distances if stage_benchmarks else []:
         print(f"profiling d={d} ({ROUNDS} rounds, p={NOISE_P}) ...", flush=True)
@@ -556,6 +674,12 @@ def main(argv: list[str] | None = None) -> int:
         for method, rate in by_method.items():
             rel = rate / legacy if legacy else float("nan")
             print(f"  decode/{method:<15} {rate:>10.1f} shots/s  ({rel:5.1f}x legacy)")
+    if "glue" in benchmarks:
+        for d in distances:
+            print(
+                f"glue d={d} ({ROUNDS} rounds, p={NOISE_P}) ...", flush=True
+            )
+            all_records.extend(glue_benchmark(d))
     if "scaling" in benchmarks:
         d = max(distances)
         print(

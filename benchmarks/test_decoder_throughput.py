@@ -66,7 +66,8 @@ def test_decoder_method_throughput(benchmark, table):
     assert rates["uf"] > 2 * rates["blossom_legacy"]
     assert rates["greedy"] > 2 * rates["blossom_legacy"]
     # Since the vectorised batch pipeline (PR 4), exact matching is the
-    # fastest accurate method at d ≤ 7 — union-find still decodes its
-    # unique syndromes one by one, so it only needs to stay within an
-    # order of magnitude to remain a useful accuracy baseline.
-    assert rates["uf"] > 0.1 * rates["blossom"]
+    # fastest accurate method at d ≤ 7, and the word-packed dedup plus
+    # batched kernel calls widened the gap further — union-find still
+    # decodes its unique syndromes one by one, so it only needs to stay
+    # within ~30x to remain a useful accuracy baseline.
+    assert rates["uf"] > rates["blossom"] / 30

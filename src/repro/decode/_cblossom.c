@@ -1274,6 +1274,84 @@ sparse_component_parity(int k, const double *W,
 }
 
 /* ------------------------------------------------------------------ */
+/* Stacked subset DP.                                                  */
+/*                                                                     */
+/* The recurrence of repro/decode/batch.py::_dp_match_batch_py run over
+ * one same-size chunk of components: for every defect-subset mask the
+ * lowest member either pairs with another member (ascending partner
+ * order), routes to the boundary, or dangles, and the first strict
+ * minimum wins — exactly the transition order and argmin tie-breaking
+ * of the numpy level loop.  The flat cost/parity vectors (including
+ * the dangle reduction, whose float summation order must match the
+ * interpreter) are prepared by the Python caller, so every f value is
+ * the same chain of binary adds on both backends and the parities are
+ * bit-identical.                                                      */
+
+static int
+dp_match_chunk(int g, int k, const double *cost_flat,
+               const unsigned char *par_flat, unsigned char *parity_out)
+{
+    size_t size = (size_t)1 << k;
+    double *f = (double *)malloc(size * sizeof(double));
+    unsigned char *gp = (unsigned char *)malloc(size);
+    if (f == NULL || gp == NULL) {
+        free(f);
+        free(gp);
+        return 0;
+    }
+    size_t stride = (size_t)k * k + (size_t)k + 1;
+    size_t boundary_base = (size_t)k * k;
+    size_t dangle_idx = boundary_base + (size_t)k;
+    for (int c = 0; c < g; c++) {
+        const double *cost = cost_flat + (size_t)c * stride;
+        const unsigned char *par = par_flat + (size_t)c * stride;
+        f[0] = 0.0;
+        gp[0] = 0;
+        for (size_t mask = 1; mask < size; mask++) {
+            int i = 0;
+            while (((mask >> i) & 1) == 0) {
+                i++;
+            }
+            size_t rest = mask ^ ((size_t)1 << i);
+            double best = 0.0;
+            unsigned char best_par = 0;
+            int first = 1;
+            for (int j = i + 1; j < k; j++) {
+                if (((rest >> j) & 1) == 0) {
+                    continue;
+                }
+                size_t other = rest ^ ((size_t)1 << j);
+                double cand = cost[(size_t)i * k + j] + f[other];
+                if (first || cand < best) {
+                    best = cand;
+                    best_par = (unsigned char)(par[(size_t)i * k + j]
+                                               ^ gp[other]);
+                    first = 0;
+                }
+            }
+            double cand = cost[boundary_base + (size_t)i] + f[rest];
+            if (first || cand < best) {
+                best = cand;
+                best_par = (unsigned char)(par[boundary_base + (size_t)i]
+                                           ^ gp[rest]);
+                first = 0;
+            }
+            cand = cost[dangle_idx] + f[rest];
+            if (cand < best) { /* never first: boundary seeded above */
+                best = cand;
+                best_par = (unsigned char)(par[dangle_idx] ^ gp[rest]);
+            }
+            f[mask] = best;
+            gp[mask] = best_par;
+        }
+        parity_out[c] = gp[size - 1];
+    }
+    free(f);
+    free(gp);
+    return 1;
+}
+
+/* ------------------------------------------------------------------ */
 /* Python binding.                                                     */
 
 static PyObject *
@@ -1397,6 +1475,109 @@ done:
     return result;
 }
 
+static PyObject *
+py_sparse_match_batch(PyObject *self, PyObject *args)
+{
+    (void)self;
+    Py_ssize_t g_arg, k_arg;
+    Py_buffer bW = {0}, bup = {0}, bP = {0}, bbd = {0}, bbp = {0},
+              bout = {0};
+    if (!PyArg_ParseTuple(args, "nny*y*y*y*y*w*", &g_arg, &k_arg, &bW,
+                          &bup, &bP, &bbd, &bbp, &bout)) {
+        return NULL;
+    }
+    PyObject *result = NULL;
+    Py_ssize_t kk = k_arg * k_arg;
+    if (g_arg < 1 || k_arg < 1 || k_arg > INT_MAX / 4
+        || kk / k_arg != k_arg
+        || g_arg > PY_SSIZE_T_MAX / (kk * (Py_ssize_t)sizeof(double))
+        || bW.len != g_arg * kk * (Py_ssize_t)sizeof(double)
+        || bup.len != g_arg * kk || bP.len != g_arg * kk
+        || bbd.len != g_arg * k_arg * (Py_ssize_t)sizeof(double)
+        || bbp.len != g_arg * k_arg || bout.len != g_arg) {
+        PyErr_SetString(PyExc_ValueError,
+                        "sparse_match_batch: inconsistent buffer lengths");
+        goto done;
+    }
+    {
+        int ok = 1;
+        Py_BEGIN_ALLOW_THREADS;
+        const double *W = (const double *)bW.buf;
+        const unsigned char *up = (const unsigned char *)bup.buf;
+        const unsigned char *P = (const unsigned char *)bP.buf;
+        const double *bd = (const double *)bbd.buf;
+        const unsigned char *bp = (const unsigned char *)bbp.buf;
+        unsigned char *out = (unsigned char *)bout.buf;
+        for (Py_ssize_t c = 0; c < g_arg && ok; c++) {
+            int parity = 0;
+            ok = sparse_component_parity(
+                (int)k_arg, W + c * kk, up + c * kk, P + c * kk,
+                bd + c * k_arg, bp + c * k_arg, &parity);
+            out[c] = (unsigned char)parity;
+        }
+        Py_END_ALLOW_THREADS;
+        if (!ok) {
+            PyErr_NoMemory();
+            goto done;
+        }
+        result = Py_None;
+        Py_INCREF(result);
+    }
+done:
+    PyBuffer_Release(&bW);
+    PyBuffer_Release(&bup);
+    PyBuffer_Release(&bP);
+    PyBuffer_Release(&bbd);
+    PyBuffer_Release(&bbp);
+    PyBuffer_Release(&bout);
+    return result;
+}
+
+static PyObject *
+py_dp_match_batch(PyObject *self, PyObject *args)
+{
+    (void)self;
+    Py_ssize_t g_arg, k_arg;
+    Py_buffer bc = {0}, bp = {0}, bout = {0};
+    if (!PyArg_ParseTuple(args, "nny*y*w*", &g_arg, &k_arg, &bc, &bp,
+                          &bout)) {
+        return NULL;
+    }
+    PyObject *result = NULL;
+    /* k is capped at _DP_STACK_MAX (11) by the caller; 24 bounds the
+     * 2^k DP table at something still allocatable before the length
+     * checks can overflow. */
+    Py_ssize_t stride = k_arg * k_arg + k_arg + 1;
+    if (g_arg < 1 || g_arg > INT_MAX / 4 || k_arg < 1 || k_arg > 24
+        || g_arg > PY_SSIZE_T_MAX / (stride * (Py_ssize_t)sizeof(double))
+        || bc.len != g_arg * stride * (Py_ssize_t)sizeof(double)
+        || bp.len != g_arg * stride || bout.len != g_arg) {
+        PyErr_SetString(PyExc_ValueError,
+                        "dp_match_batch: inconsistent buffer lengths");
+        goto done;
+    }
+    {
+        int ok;
+        Py_BEGIN_ALLOW_THREADS;
+        ok = dp_match_chunk((int)g_arg, (int)k_arg,
+                            (const double *)bc.buf,
+                            (const unsigned char *)bp.buf,
+                            (unsigned char *)bout.buf);
+        Py_END_ALLOW_THREADS;
+        if (!ok) {
+            PyErr_NoMemory();
+            goto done;
+        }
+        result = Py_None;
+        Py_INCREF(result);
+    }
+done:
+    PyBuffer_Release(&bc);
+    PyBuffer_Release(&bp);
+    PyBuffer_Release(&bout);
+    return result;
+}
+
 static PyMethodDef cblossom_methods[] = {
     {"sparse_match_parity", py_sparse_match_parity, METH_VARARGS,
      "sparse_match_parity(k, W, use_pair, P, b_dist, b_par)\n\n"
@@ -1405,6 +1586,26 @@ static PyMethodDef cblossom_methods[] = {
      "sparse_match_parity in repro.decode.sparse_match.  W and b_dist\n"
      "are contiguous float64 buffers (k*k and k), use_pair/P/b_par\n"
      "contiguous 1-byte buffers (k*k, k*k, k)."},
+    {"sparse_match_batch", py_sparse_match_batch, METH_VARARGS,
+     "sparse_match_batch(g, k, W, use_pair, P, b_dist, b_par, "
+     "parity_out)\n\n"
+     "Observable parities of one same-size component group in a single\n"
+     "call: g stacked components of k defects each, looped inside C so\n"
+     "the per-call overhead amortises across the group.  Buffers are\n"
+     "the contiguous stacked gather arrays — W (g*k*k float64),\n"
+     "use_pair/P (g*k*k bytes), b_dist (g*k float64), b_par (g*k\n"
+     "bytes) — and parity_out a writable g-byte buffer.  Component c\n"
+     "gets exactly sparse_match_parity(k, W[c], ...), so results are\n"
+     "bit-identical to the per-component path."},
+    {"dp_match_batch", py_dp_match_batch, METH_VARARGS,
+     "dp_match_batch(g, k, cost_flat, par_flat, parity_out)\n\n"
+     "Stacked subset-DP over one same-size chunk of g components with\n"
+     "k defects each.  cost_flat (g*(k*k+k+1) float64) and par_flat\n"
+     "(g*(k*k+k+1) bytes) are the flattened [pair | boundary | dangle]\n"
+     "transition vectors prepared by repro.decode.batch._dp_flatten;\n"
+     "parity_out is a writable g-byte buffer.  Replicates the numpy\n"
+     "level loop's transition order and first-minimum tie-breaking, so\n"
+     "parities are bit-identical to the Python fallback."},
     {"blossom_core", py_blossom_core, METH_VARARGS,
      "blossom_core(n, edge_i, edge_j, edge_w, jumpstart, mate_out, "
      "dual_out)\n\n"

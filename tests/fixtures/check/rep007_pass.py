@@ -1,0 +1,19 @@
+# virtual-path: src/repro/decode/good_dedup.py
+# Dedup on packed uint64 words; value-dedup and other axes stay legal.
+import numpy as np
+
+from repro.utils.gf2 import gf2_pack_rows, gf2_unpack
+
+
+def dedup(rows):
+    packed = gf2_pack_rows(rows)
+    unique_words, inverse = np.unique(packed, axis=0, return_inverse=True)
+    return gf2_unpack(unique_words, rows.shape[1]), inverse
+
+
+def unique_sizes(counts):
+    return np.unique(counts)
+
+
+def unique_columns(arr):
+    return np.unique(arr, axis=1)

@@ -241,6 +241,136 @@ class TestCompiledSparseMatcher:
             assert (compiled == pure).all()
 
 
+def _random_group(rng, k, group):
+    """One same-size component group in the stacked gather layout."""
+    W = np.empty((group, k, k))
+    use_pair = np.empty((group, k, k), dtype=bool)
+    P = np.empty((group, k, k), dtype=np.uint8)
+    b_dist = np.empty((group, k))
+    b_par = np.empty((group, k), dtype=np.uint8)
+    for i in range(group):
+        if int(rng.integers(3)) == 0:
+            base = rng.integers(1, 5, size=(k, k)).astype(float)
+        else:
+            base = rng.uniform(0.5, 10.0, size=(k, k))
+        Wi = np.triu(base, 1)
+        Wi = Wi + Wi.T
+        np.fill_diagonal(Wi, np.inf)
+        drop = np.triu(rng.random((k, k)) < 0.25, 1)
+        Wi[drop | drop.T] = np.inf
+        W[i] = Wi
+        bd = rng.uniform(0.5, 10.0, size=k)
+        bd[rng.random(k) < 0.3] = np.inf
+        b_dist[i] = bd
+        up = np.triu(rng.random((k, k)) < 0.5, 1)
+        use_pair[i] = up | up.T
+        Pi = np.triu(rng.random((k, k)) < 0.5, 1).astype(np.uint8)
+        P[i] = Pi | Pi.T
+        b_par[i] = (rng.random(k) < 0.5).astype(np.uint8)
+    return W, use_pair, P, b_dist, b_par
+
+
+@requires_kernel
+class TestBatchedKernelCalls:
+    """One C call per component group == per-component calls == pure."""
+
+    def test_sparse_batch_matches_per_component_and_pure(self, monkeypatch):
+        rng = np.random.default_rng(17)
+        for _ in range(300):
+            k = int(rng.integers(2, 21))
+            group = int(rng.integers(1, 6))
+            W, use_pair, P, b_dist, b_par = _random_group(rng, k, group)
+            batched = sparse_module.sparse_match_parity_batch(
+                k, W, use_pair, P, b_dist, b_par
+            )
+            per_component = np.array(
+                [
+                    sparse_module.sparse_match_parity(
+                        k, W[i], use_pair[i], P[i], b_dist[i], b_par[i]
+                    )
+                    for i in range(group)
+                ],
+                dtype=np.uint8,
+            )
+            assert (batched == per_component).all()
+            with monkeypatch.context() as mp:
+                mp.setattr(blossom, "_KERNEL", None)
+                pure = sparse_module.sparse_match_parity_batch(
+                    k, W, use_pair, P, b_dist, b_par
+                )
+            assert (batched == pure).all()
+
+    def test_dp_batch_matches_pure_level_loop(self, monkeypatch):
+        from repro.decode import batch as batch_module
+
+        rng = np.random.default_rng(23)
+        for _ in range(60):
+            k = int(rng.integers(3, 12))
+            group = int(rng.integers(1, 9))
+            args = _random_group(rng, k, group)
+            compiled = batch_module._dp_match_batch(k, *args)
+            with monkeypatch.context() as mp:
+                mp.setattr(blossom, "_KERNEL", None)
+                pure = batch_module._dp_match_batch(k, *args)
+            assert (compiled == pure).all()
+            # The pinned fallback over the same flat vectors agrees too.
+            cost_flat, par_flat = batch_module._dp_flatten(k, *args)
+            direct = batch_module._dp_match_batch_py(k, cost_flat, par_flat)
+            assert (compiled == direct).all()
+
+    def test_empty_group_short_circuits(self):
+        k = 4
+        empty = sparse_module.sparse_match_parity_batch(
+            k,
+            np.zeros((0, k, k)),
+            np.zeros((0, k, k), dtype=bool),
+            np.zeros((0, k, k), dtype=np.uint8),
+            np.zeros((0, k)),
+            np.zeros((0, k), dtype=np.uint8),
+        )
+        assert empty.shape == (0,)
+
+    def test_sparse_batch_buffer_validation(self):
+        kern = blossom._KERNEL
+        k, group = 3, 2
+        W = np.zeros((group, k, k))
+        up = np.zeros((group, k, k), dtype=np.uint8)
+        P = np.zeros((group, k, k), dtype=np.uint8)
+        bd = np.zeros((group, k))
+        bp = np.zeros((group, k), dtype=np.uint8)
+        out = np.empty(group, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            kern.sparse_match_batch(group, k, W[:1], up, P, bd, bp, out)
+        with pytest.raises(ValueError):
+            kern.sparse_match_batch(
+                group, k, W, up, P, np.zeros((group, k + 1)), bp, out
+            )
+        with pytest.raises(ValueError):
+            kern.sparse_match_batch(
+                group, k, W, up, P, bd, bp, np.empty(group + 1, dtype=np.uint8)
+            )
+        with pytest.raises(ValueError):
+            kern.sparse_match_batch(0, k, W, up, P, bd, bp, out)
+
+    def test_dp_batch_buffer_validation(self):
+        kern = blossom._KERNEL
+        k, group = 3, 2
+        stride = k * k + k + 1
+        cost = np.zeros((group, stride))
+        par = np.zeros((group, stride), dtype=np.uint8)
+        out = np.empty(group, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            kern.dp_match_batch(group, k, cost[:1], par, out)
+        with pytest.raises(ValueError):
+            kern.dp_match_batch(group, k, cost, par[:, :-1].copy(), out)
+        with pytest.raises(ValueError):
+            kern.dp_match_batch(
+                group, k, cost, par, np.empty(group + 1, dtype=np.uint8)
+            )
+        with pytest.raises(ValueError):
+            kern.dp_match_batch(group, 25, cost, par, out)  # k capped at 24
+
+
 class TestBackendReporting:
     def test_kernel_backend_reflects_kernel(self, monkeypatch):
         assert kernel_backend() in ("compiled", "python")

@@ -45,6 +45,7 @@ class TestRuleCatalogue:
             "REP004",
             "REP005",
             "REP006",
+            "REP007",
         ]
 
     def test_every_rule_has_summary(self):
@@ -63,6 +64,7 @@ class TestSeededFixtures:
         "REP004": ("rep004_fail.py", 4),
         "REP005": ("rep005_fail.py", 3),
         "REP006": ("rep006_fail.py", 3),
+        "REP007": ("rep007_fail.py", 2),
     }
 
     @pytest.mark.parametrize("code", RULE_CODES)

@@ -20,7 +20,7 @@ from repro.sim import (
     sample_detectors,
 )
 from repro.surface import rotated_surface_code
-from repro.utils.gf2 import PackedBits
+from repro.utils.gf2 import PackedBits, gf2_pack_rows
 
 _PATCH = rotated_surface_code(3)
 _CIRCUIT = memory_circuit(_PATCH.code, "Z", 3, NoiseModel.uniform(4e-3))
@@ -72,3 +72,59 @@ def test_packed_bits_transpose_blocks():
     for block in (64, 128, 4096):
         assert (packed.transpose(block=block).unpack() == bits.T).all()
     assert (packed.column_parity() == bits.sum(axis=0) % 2).all()
+
+
+def test_packed_bits_transposed_is_memoised():
+    """``transposed()`` computes once and returns the same object."""
+    rng = np.random.default_rng(21)
+    bits = rng.integers(0, 2, size=(23, 301), dtype=np.uint8)
+    packed = PackedBits.pack(bits)
+    first = packed.transposed()
+    assert first is packed.transposed()
+    assert (first.unpack() == bits.T).all()
+    assert (first.unpack() == packed.transpose().unpack()).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    shots=st.integers(1, 60),
+    density=st.floats(0.0, 0.3),
+)
+def test_word_dedup_equals_row_dedup_and_packed_input(seed, shots, density):
+    """Word-packed dedup ≡ byte-row dedup ≡ packed-input predictions.
+
+    Random uint8 batches — always containing an all-zero row and a
+    duplicate — must give the same unique count whether rows are
+    deduplicated as bytes or as packed uint64 words, and decode to the
+    same predictions through every input flavour: the word-dedup batch
+    path, a reference byte-row dedup + per-unique serial decode, and a
+    ``PackedBits`` bitplane.
+    """
+    decoder = MatchingDecoder(_DEM)
+    width = decoder.num_detectors
+    rng = np.random.default_rng(seed)
+    rows = (rng.random((shots, width)) < density).astype(np.uint8)
+    # Seeded degenerate rows: one all-zero shot, one duplicate pair.
+    rows[rng.integers(shots)] = 0
+    rows[rng.integers(shots)] = rows[rng.integers(shots)]
+
+    nonzero = np.nonzero(rows.any(axis=1))[0]
+    unique_rows = np.unique(rows[nonzero], axis=0)
+    unique_words = np.unique(gf2_pack_rows(rows)[nonzero], axis=0)
+    assert len(unique_words) == len(unique_rows)
+
+    pred_batch = decoder.decode_batch(rows)
+    # Reference: byte-row dedup + the serial single-shot front door.
+    reference = MatchingDecoder(_DEM)
+    uniq, inverse = np.unique(rows[nonzero], axis=0, return_inverse=True)
+    per_unique = np.array(
+        [reference.decode(u) for u in uniq], dtype=np.uint8
+    )
+    pred_rows = np.zeros(shots, dtype=np.uint8)
+    pred_rows[nonzero] = per_unique[inverse.reshape(-1)]
+    assert (pred_batch == pred_rows).all()
+
+    bitplane = PackedBits.pack(rows.T)  # rows = detectors, bits = shots
+    pred_packed = MatchingDecoder(_DEM).decode_batch(bitplane)
+    assert (pred_packed == pred_batch).all()

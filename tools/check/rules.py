@@ -378,6 +378,68 @@ class DeterministicSeedsAndPools(Rule):
                 )
 
 
+class WordPackedDedup(Rule):
+    """REP007 — batch dedup runs on packed words, not byte rows.
+
+    The PR 9 glue fix: an axis-0 ``np.unique`` over uint8 syndrome
+    rows compares ~1.2 kB of bytes per row at d = 9, and was the
+    single largest decode line item after the compiled kernel landed.
+    ``decode_batch`` now packs rows into uint64 words
+    (``utils/gf2.gf2_pack_rows``) before deduplicating — ~64× less
+    data per comparison — and unpacks only the unique survivors.  This
+    rule flags any axis-0 ``np.unique`` under ``src/repro/decode/``
+    whose operand is not identifiably packed (heuristic: some name in
+    the array expression contains ``packed`` or ``word``), so the byte
+    -row pattern cannot quietly return to the hot path.
+    """
+
+    code = "REP007"
+    summary = "axis-0 np.unique in decode/ dedups on packed words"
+
+    _PACKED_MARKERS = ("packed", "word")
+
+    def applies(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/decode/")
+
+    def _looks_packed(self, node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            name = None
+            if isinstance(sub, ast.Name):
+                name = sub.id
+            elif isinstance(sub, ast.Attribute):
+                name = sub.attr
+            if name is not None:
+                lowered = name.lower()
+                if any(m in lowered for m in self._PACKED_MARKERS):
+                    return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if ctx.imports.resolve(node.func) != "numpy.unique":
+                continue
+            axis_zero = any(
+                kw.arg == "axis"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value == 0
+                for kw in node.keywords
+            )
+            if not axis_zero:
+                continue
+            if node.args and self._looks_packed(node.args[0]):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "axis-0 np.unique on byte rows scans the full row width "
+                "per comparison; pack rows into uint64 words "
+                "(utils/gf2.gf2_pack_rows) and dedup on those, unpacking "
+                "only the unique survivors (decode/base.py _packed_dedup)",
+            )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     NoNetworkxInDecode(),
     DurableWritesThroughStore(),
@@ -385,4 +447,5 @@ ALL_RULES: tuple[Rule, ...] = (
     StableOrderInDecode(),
     VerifiedUnpickleOnly(),
     DeterministicSeedsAndPools(),
+    WordPackedDedup(),
 )

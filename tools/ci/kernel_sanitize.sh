@@ -64,6 +64,7 @@ ASAN_OPTIONS="detect_leaks=0:abort_on_error=1" \
 UBSAN_OPTIONS="print_stacktrace=1" \
 PYTHONPATH="$SCRATCH" \
 python -m pytest -q -p no:cacheprovider \
-    tests/test_blossom_kernel.py tests/test_decode_agreement.py
+    tests/test_blossom_kernel.py tests/test_decode_agreement.py \
+    tests/test_decode_batch.py
 
 echo "sanitizer leg clean"
