@@ -42,6 +42,15 @@ all-pairs fancy indexing), ``dp`` (stacked subset-DP buckets),
 ``engine`` (oversize matching-engine calls), ``other`` and ``total``
 via accumulating timers wrapped around the pipeline's internal seams,
 so a glue regression is attributable to a stage, not just a total.
+``--benchmarks service`` adds the streaming-service benchmark (largest
+selected distance only): ``SERVICE_STREAMS`` concurrent sessions push a
+``SERVICE_ROUNDS``-round syndrome stream through
+:class:`repro.serve.DecodeService` in ``SERVICE_CHUNK_LAYERS``-layer
+chunks, decoding through the sliding-window decoder's bounded-memory
+window graphs; the record carries per-chunk service latency
+percentiles (``p50_ms``/``p95_ms``/``p99_ms``, submit → decode-done,
+queueing included) alongside decoded-shot throughput.  A non-finite
+p99 (the service never decoded a chunk) fails the run.
 ``--smoke`` is the CI gate: a d = 3 decode tripwire with a small shot
 plan, written to ``BENCH_decode.smoke.json`` so the committed report
 is untouched, exiting nonzero if matrix blossom falls below
@@ -55,7 +64,7 @@ region-growing matcher is slower than the dense blossom there
 ``BENCH_decode.json`` record schema — every record carries::
 
     {"benchmark":      "build" | "dem_build" | "sample" | "decode"
-                       | "scaling" | "match_smoke" | "glue",
+                       | "scaling" | "match_smoke" | "glue" | "service",
      "distance":       3 | 5 | 7 | 9,
      "method":         benchmark-specific label (decode: "blossom",
                        "uf", "greedy", "blossom_legacy"; scaling:
@@ -68,7 +77,9 @@ plus benchmark-specific bookkeeping: ``rounds`` (all), ``seconds``
 (build/dem_build), ``mechanism_count`` (dem_build), ``shots`` (sample/
 decode/scaling), ``components``/``mean_defects``/``noise_p``
 (match_smoke), ``stage``/``seconds``/``fraction`` (glue — one record
-per :data:`GLUE_STAGES` entry), for decode and scaling records
+per :data:`GLUE_STAGES` entry), ``streams``/``chunks``/
+``chunk_layers``/``max_pending``/``p50_ms``/``p95_ms``/``p99_ms``
+(service), for decode and scaling records
 ``reps`` (cold-cache
 repetitions) and ``workers`` — the process-pool width used by
 ``decode_batch``; ``1`` means the serial path — and for scaling
@@ -108,7 +119,7 @@ from repro.surface import rotated_surface_code
 
 ROUNDS = 25
 NOISE_P = 1e-3
-BENCHMARKS = ("build", "sample", "decode", "scaling", "glue")
+BENCHMARKS = ("build", "sample", "decode", "scaling", "glue", "service")
 DECODE_REPS = 3
 
 #: Stage labels of the ``glue`` benchmark, in report order.  The first
@@ -125,6 +136,18 @@ SCALING_WORKERS = (1, 2, 4)
 #: (timed decode shots, legacy decode shots) per distance — the legacy
 #: path is orders of magnitude slower, so it gets a smaller sample.
 SHOT_PLAN = {3: (8000, 2000), 5: (4000, 600), 7: (3000, 300), 9: (2000, 120)}
+
+#: Streaming-service benchmark shape: concurrent sessions each push a
+#: ``SERVICE_ROUNDS``-round stream in ``SERVICE_CHUNK_LAYERS``-layer
+#: chunks through a ``workers``-wide pool with ``max_pending``
+#: backpressure; shots per stream shrink with distance like the decode
+#: shot plan does.
+SERVICE_ROUNDS = 100
+SERVICE_STREAMS = 4
+SERVICE_CHUNK_LAYERS = 5
+SERVICE_WORKERS = 2
+SERVICE_MAX_PENDING = 4
+SERVICE_SHOT_PLAN = {3: 256, 5: 128, 7: 64, 9: 32}
 
 #: ``--smoke`` shot plan and regression floor: matrix blossom must stay
 #: at least this many times faster than the legacy path at d = 3, else
@@ -249,7 +272,7 @@ def profile_distance(
     # The packed record decodes the same sample bits as the uint8 rows
     # (equal seed, equal draws), shipped as uint64 detector bitplanes.
     packed_detectors, _ = sample_detectors(
-        circuit, shots, seed=11, packed_output=True
+        circuit, shots, seed=11, output="packed"
     )
     methods: list[tuple[str, dict, int]] = [
         ("blossom", {}, shots),
@@ -334,7 +357,7 @@ def glue_benchmark(distance: int) -> list[dict]:
     sample_detectors(circuit, 64, seed=1)  # warm the compile cache
     detectors, _ = sample_detectors(circuit, shots, seed=11)
     packed_detectors, _ = sample_detectors(
-        circuit, shots, seed=11, packed_output=True
+        circuit, shots, seed=11, output="packed"
     )
     seams = (
         (base_mod, "gf2_pack_rows", "dedup"),
@@ -542,7 +565,10 @@ def scaling_benchmark(distance: int) -> list[dict]:
     for w in widths:
         seconds = float("inf")
         for _ in range(DECODE_REPS):
-            dec = MatchingDecoder(dem, workers=w if w > 1 else None)
+            # workers=1 is the explicit serial path (no fork), so the
+            # base rate is measured on exactly the code path sharded
+            # widths are compared against.
+            dec = MatchingDecoder(dem, workers=w)
             dec.min_shard_syndromes = 1
             dec.graph.ensure_route_tables()  # outside the timed region
             t0 = time.perf_counter()
@@ -573,6 +599,82 @@ def scaling_benchmark(distance: int) -> list[dict]:
     return records
 
 
+def service_benchmark(distance: int) -> tuple[list[dict], bool]:
+    """Streamed decoding through the asyncio service, latency-profiled.
+
+    ``SERVICE_STREAMS`` concurrent sessions each push a
+    ``SERVICE_ROUNDS``-round d = ``distance`` syndrome stream through
+    one :class:`repro.serve.DecodeService` in
+    ``SERVICE_CHUNK_LAYERS``-layer chunks (``SERVICE_WORKERS`` pool
+    threads, ``SERVICE_MAX_PENDING`` backpressure depth).  The window
+    graphs and outcome memos are warmed outside the timed region — the
+    record measures steady-state service latency, not one-time setup —
+    and the returned flag is False when p99 is non-finite, i.e. the
+    service never decoded a chunk.
+    """
+    import asyncio
+
+    from repro.serve import DecodeService, SlidingWindowDecoder, WindowConfig
+
+    shots = SERVICE_SHOT_PLAN.get(distance, 64)
+    patch = rotated_surface_code(distance)
+    noise = NoiseModel.uniform(NOISE_P)
+    circuit = memory_circuit(patch.code, "Z", SERVICE_ROUNDS, noise)
+    config = WindowConfig()
+    window = SlidingWindowDecoder(patch.code, "Z", noise, config=config)
+    sample_detectors(circuit, 16, seed=1)  # warm the compile cache
+    detectors, _ = sample_detectors(
+        circuit, shots, seed=11, output="packed"
+    )
+    rows = detectors.transposed().unpack()
+    window.decode_batch(rows[:4])  # build the window graphs up front
+    chunk_cols = SERVICE_CHUNK_LAYERS * window.layer_width
+
+    async def run_streams():
+        service = DecodeService(
+            window,
+            workers=SERVICE_WORKERS,
+            max_pending=SERVICE_MAX_PENDING,
+        )
+
+        async def one_stream():
+            session = service.open_stream(shots)
+            for lo in range(0, rows.shape[1], chunk_cols):
+                await session.submit(rows[:, lo : lo + chunk_cols])
+            return await session.finish()
+
+        async with service:
+            await asyncio.gather(
+                *(one_stream() for _ in range(SERVICE_STREAMS))
+            )
+        return service.stats()
+
+    stats = asyncio.run(run_streams())
+    record = {
+        "benchmark": "service",
+        "distance": distance,
+        "method": f"window{config.window}/{config.commit}",
+        "shots_per_sec": stats.shots_per_sec,
+        "shots": stats.shots,
+        "streams": stats.streams,
+        "chunks": stats.chunks,
+        "chunk_layers": SERVICE_CHUNK_LAYERS,
+        "rounds": SERVICE_ROUNDS,
+        "workers": SERVICE_WORKERS,
+        "max_pending": SERVICE_MAX_PENDING,
+        "p50_ms": stats.p50_ms,
+        "p95_ms": stats.p95_ms,
+        "p99_ms": stats.p99_ms,
+    }
+    ok = bool(np.isfinite(stats.p99_ms))
+    print(
+        f"  service/{record['method']:<12} {stats.shots_per_sec:>10.1f} "
+        f"shots/s  p50={stats.p50_ms:.2f}ms p95={stats.p95_ms:.2f}ms "
+        f"p99={stats.p99_ms:.2f}ms ({'PASS' if ok else 'FAIL'})"
+    )
+    return [record], ok
+
+
 def _decode_label(record: dict) -> str:
     """Display/lookup label for a decode record (sharded runs tagged)."""
     if record.get("workers", 1) > 1:
@@ -586,9 +688,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--benchmarks",
         default="build,sample,decode,glue",
-        help="comma-separated subset of build,sample,decode,scaling,glue "
-        "(scaling runs once at the largest selected distance; glue "
-        "writes a per-distance decode stage-timing breakdown)",
+        help="comma-separated subset of build,sample,decode,scaling,glue,"
+        "service (scaling and service run once at the largest selected "
+        "distance; glue writes a per-distance decode stage-timing "
+        "breakdown; service streams chunked syndromes through the "
+        "asyncio decode service and records latency percentiles)",
     )
     parser.add_argument(
         "--workers",
@@ -652,7 +756,7 @@ def main(argv: list[str] | None = None) -> int:
     out_path = Path(args.out if args.out is not None else default_out)
 
     machine = _machine_metadata()
-    stage_benchmarks = benchmarks - {"scaling", "glue"}
+    stage_benchmarks = benchmarks - {"scaling", "glue", "service"}
     all_records: list[dict] = []
     for d in distances if stage_benchmarks else []:
         print(f"profiling d={d} ({ROUNDS} rounds, p={NOISE_P}) ...", flush=True)
@@ -689,6 +793,17 @@ def main(argv: list[str] | None = None) -> int:
         )
         all_records.extend(scaling_benchmark(d))
     status = 0
+    if "service" in benchmarks:
+        d = max(distances)
+        print(
+            f"service d={d} ({SERVICE_ROUNDS} rounds, p={NOISE_P}, "
+            f"{SERVICE_STREAMS} streams) ...",
+            flush=True,
+        )
+        service_records, service_ok = service_benchmark(d)
+        all_records.extend(service_records)
+        if not service_ok:
+            status = 1
     if args.smoke:
         match_records, match_ok = match_engine_smoke()
         all_records.extend(match_records)

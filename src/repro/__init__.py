@@ -39,6 +39,13 @@ from repro.deform import (
 )
 from repro.layout import LayoutGenerator, LogicalLayout, Router
 from repro.pauli import PauliOp
+from repro.serve import (
+    DecodeService,
+    ServiceStats,
+    SlidingWindowDecoder,
+    StreamSession,
+    WindowConfig,
+)
 from repro.sim import NoiseModel
 from repro.surface import SurfacePatch, rotated_rect_patch, rotated_surface_code
 
@@ -67,6 +74,11 @@ __all__ = [
     "LogicalLayout",
     "Router",
     "PauliOp",
+    "DecodeService",
+    "StreamSession",
+    "ServiceStats",
+    "SlidingWindowDecoder",
+    "WindowConfig",
     "NoiseModel",
     "SurfacePatch",
     "rotated_rect_patch",

@@ -22,6 +22,11 @@ from repro.decode.blossom import min_weight_perfect_matching
 from repro.decode.graph import DecodingGraph
 from repro.decode.mwpm import MatchingDecoder
 from repro.decode.uf import UnionFindDecoder
+from repro.decode.window import (
+    SlidingWindowDecoder,
+    WindowConfig,
+    WindowStream,
+)
 
 __all__ = [
     "Decoder",
@@ -29,4 +34,7 @@ __all__ = [
     "DecodingGraph",
     "UnionFindDecoder",
     "min_weight_perfect_matching",
+    "SlidingWindowDecoder",
+    "WindowConfig",
+    "WindowStream",
 ]

@@ -302,6 +302,12 @@ class Decoder:
     # -- forked-pool sharding ------------------------------------------
     def _can_shard(self, num_unique: int, workers: int) -> bool:
         """Whether forking a pool is worthwhile (and safe) here."""
+        if workers <= 1:
+            # ``workers=1`` means serial, no fork — explicitly, not
+            # merely because one shard happens to fall below the
+            # per-worker floor.  Serial decoding never touches
+            # ``pool_failures``.
+            return False
         if num_unique < workers * self.min_shard_syndromes:
             return False
         # macOS advertises fork but aborts forked children that touch

@@ -55,7 +55,40 @@ __all__ = [
     "logical_error_rate",
     "clear_decoder_cache",
     "chunk_plan",
+    "resolve_workers",
 ]
+
+_DECODER_WORKERS_WARNED = False
+
+
+def resolve_workers(
+    workers: int | None, decoder_workers: int | None
+) -> int | None:
+    """Fold the deprecated ``decoder_workers=`` spelling into ``workers=``.
+
+    ``workers=`` is the one canonical worker-count keyword across the
+    public API (the spelling the ``Decoder`` constructor uses).  The
+    pre-redesign ``decoder_workers=`` is still honoured — warning once
+    per process — but passing both is an error.
+    """
+    if decoder_workers is None:
+        return workers
+    if workers is not None:
+        raise TypeError(
+            "pass either workers= or the deprecated decoder_workers=, "
+            "not both"
+        )
+    global _DECODER_WORKERS_WARNED
+    if not _DECODER_WORKERS_WARNED:
+        _DECODER_WORKERS_WARNED = True
+        import warnings
+
+        warnings.warn(
+            "decoder_workers= is deprecated; use workers= instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return decoder_workers
 
 #: Bounded decoder memo: content-derived cache key -> MatchingDecoder.
 _DECODER_CACHE: OrderedDict[tuple, MatchingDecoder] = OrderedDict()
@@ -258,6 +291,7 @@ def memory_experiment(
     defective_ancillas: set | None = None,
     decoder_method: str = "blossom",
     decoder_aware_of_defects: bool = False,
+    workers: int | None = None,
     decoder_workers: int | None = None,
 ) -> MemoryResult:
     """Run one ``basis``-memory experiment and decode it.
@@ -268,11 +302,13 @@ def memory_experiment(
     with stale error rates.  ``decoder_aware_of_defects=True`` gives the
     decoder the defect-aware model instead (an erasure-like best case).
 
-    ``decoder_workers=N`` shards the batch's unique syndromes across
-    ``N`` forked processes (``MatchingDecoder.decode_batch``); dense
-    d ≥ 7 sweeps then scale with cores.  It only affects scheduling,
-    never predictions, so it is deliberately *not* part of the decoder
-    cache key — memoised decoders are reused across worker settings.
+    ``workers=N`` shards the batch's unique syndromes across ``N``
+    forked processes (``MatchingDecoder.decode_batch``); dense d ≥ 7
+    sweeps then scale with cores.  It only affects scheduling, never
+    predictions, so it is deliberately *not* part of the decoder cache
+    key — memoised decoders are reused across worker settings.  The
+    pre-redesign spelling ``decoder_workers=`` is still accepted but
+    deprecated (warns once per process).
 
     ``chunk_shots=N`` streams the experiment in bounded-memory chunks
     of at most ``N`` shots, each sampled from an independent child
@@ -280,6 +316,7 @@ def memory_experiment(
     total decode work matches the one-batch run.  Chunked and unchunked
     runs of the same seed draw different (equally valid) samples.
     """
+    workers = resolve_workers(workers, decoder_workers)
     if rounds is None:
         rounds = max(3, min(code.n, 25))
     circuit = prime_compiled(
@@ -313,11 +350,9 @@ def memory_experiment(
     errors = 0
     for chunk_seed, chunk in chunk_plan(shots, chunk_shots, seed):
         detectors, observables = sample_detectors(
-            circuit, chunk, seed=chunk_seed, packed_output=True
+            circuit, chunk, seed=chunk_seed, output="packed"
         )
-        predictions = decoder.decode_batch(
-            detectors, workers=decoder_workers
-        )
+        predictions = decoder.decode_batch(detectors, workers=workers)
         actual = observables.column_parity()
         errors += int((predictions != actual).sum())
     return MemoryResult(
@@ -341,6 +376,7 @@ def logical_error_rate(
     defective_ancillas: set | None = None,
     decoder_method: str = "blossom",
     decoder_aware_of_defects: bool = False,
+    workers: int | None = None,
     decoder_workers: int | None = None,
 ) -> float:
     """Combined per-round logical error rate over both bases.
@@ -351,6 +387,7 @@ def logical_error_rate(
     ``seed`` (child seeds via ``np.random.SeedSequence.spawn``), so the
     two memory experiments are decorrelated even at a fixed seed.
     """
+    workers = resolve_workers(workers, decoder_workers)
     if seed is None:
         basis_seeds = {"Z": None, "X": None}
     else:
@@ -373,7 +410,7 @@ def logical_error_rate(
             defective_ancillas=defective_ancillas,
             decoder_method=decoder_method,
             decoder_aware_of_defects=decoder_aware_of_defects,
-            decoder_workers=decoder_workers,
+            workers=workers,
         )
         total += result.per_round
     return total

@@ -201,6 +201,7 @@ def decoding_throughput(
     chunk_shots: int | None = 65_536,
     seed: int | None = None,
     decoder_method: str = "blossom",
+    workers: int | None = None,
     decoder_workers: int | None = None,
 ) -> DecodeThroughputResult:
     """Time the packed sample→decode pipeline on one memory experiment.
@@ -210,11 +211,17 @@ def decoding_throughput(
     time per stage.  Decoder construction (DEM + all-pairs matrices)
     happens before timing starts and is memoised across calls via the
     Monte-Carlo decoder cache, so the figures reflect steady-state
-    throughput, not setup.
+    throughput, not setup.  ``workers=`` is the canonical worker-count
+    spelling; ``decoder_workers=`` is a deprecated alias.
     """
-    from repro.eval.montecarlo import _cached_decoder, _chunk_plan
+    from repro.eval.montecarlo import (
+        _cached_decoder,
+        _chunk_plan,
+        resolve_workers,
+    )
     from repro.sim import memory_circuit, sample_detectors
 
+    workers = resolve_workers(workers, decoder_workers)
     if rounds is None:
         rounds = max(3, min(code.n, 25))
     circuit = memory_circuit(code, basis, rounds, noise)
@@ -231,12 +238,10 @@ def decoding_throughput(
     for chunk_seed, chunk in _chunk_plan(shots, chunk_shots, seed):
         t0 = time.perf_counter()
         detectors, observables = sample_detectors(
-            circuit, chunk, seed=chunk_seed, packed_output=True
+            circuit, chunk, seed=chunk_seed, output="packed"
         )
         t1 = time.perf_counter()
-        predictions = decoder.decode_batch(
-            detectors, workers=decoder_workers
-        )
+        predictions = decoder.decode_batch(detectors, workers=workers)
         decode_seconds += time.perf_counter() - t1
         sample_seconds += t1 - t0
         errors += int((predictions != observables.column_parity()).sum())

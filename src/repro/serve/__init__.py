@@ -1,0 +1,20 @@
+"""Streaming decode service (the online front to windowed decoding).
+
+One facade, four names: :class:`DecodeService` (bounded-worker asyncio
+service), :class:`StreamSession` (one per-stream ingestion session),
+:class:`ServiceStats` (latency percentiles + throughput snapshot), and
+:class:`~repro.decode.window.WindowConfig` (the window geometry the
+service decodes with), re-exported here so service users never import
+from ``repro.decode.window`` directly.
+"""
+
+from repro.decode.window import SlidingWindowDecoder, WindowConfig
+from repro.serve.service import DecodeService, ServiceStats, StreamSession
+
+__all__ = [
+    "DecodeService",
+    "StreamSession",
+    "ServiceStats",
+    "SlidingWindowDecoder",
+    "WindowConfig",
+]

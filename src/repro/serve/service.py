@@ -1,0 +1,256 @@
+"""Asyncio decode service over sliding-window streaming decoders.
+
+:class:`DecodeService` is the online front door to
+:class:`~repro.decode.window.SlidingWindowDecoder`: syndrome chunks —
+packed uint64 bitplanes straight off the sampler wire, or plain
+``(shots, k x G)`` uint8 rows — arrive on per-stream
+:class:`StreamSession` objects and are decoded through one bounded
+thread pool shared by every session.  Backpressure is structural: each
+session holds at most ``max_pending`` undecoded chunks, so a producer
+that outruns the decoder blocks in ``await submit(...)`` instead of
+growing an unbounded queue, and the windowed decoder underneath
+guarantees each stream's memory never grows with its length.
+
+Per-chunk service latency is measured from the moment ``submit`` is
+called to the moment the chunk's window advance completes — queueing
+delay included, because that is what a syndrome producer actually
+experiences.  :meth:`DecodeService.stats` folds the recorded latencies
+into a :class:`ServiceStats` snapshot (p50/p95/p99 milliseconds plus
+decoded-shot throughput), which is what the ``service`` benchmark mode
+of ``benchmarks/perf_report.py`` records in ``BENCH_decode.json``.
+
+Timing uses ``time.perf_counter`` only, and the worker pool is a
+``ThreadPoolExecutor`` — window matching is NumPy-bound and the memo
+tables in the shared :class:`SlidingWindowDecoder` must stay in one
+address space; a process pool would silently defeat both.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.decode.window import SlidingWindowDecoder, WindowStream
+from repro.utils.gf2 import PackedBits
+
+__all__ = ["DecodeService", "StreamSession", "ServiceStats"]
+
+#: Queue sentinel closing a session: drain the pending chunks, then
+#: decode the final window.
+_FINISH = object()
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One service's latency/throughput snapshot (see ``stats()``).
+
+    Latency percentiles are per *chunk* — submit to decode-done,
+    queueing included — in milliseconds; they are ``nan`` until at
+    least one chunk has been decoded (the benchmark gate treats a
+    non-finite p99 as "the service never ran").  Throughput counts the
+    shots of *finished* streams over the wall-clock span from the
+    first submit to the most recent completion.
+    """
+
+    streams: int
+    chunks: int
+    shots: int
+    wall_seconds: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+
+    @property
+    def shots_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf") if self.shots else 0.0
+        return self.shots / self.wall_seconds
+
+
+class StreamSession:
+    """One logical stream's service-side session.
+
+    Created by :meth:`DecodeService.open_stream`.  ``await submit()``
+    enqueues one chunk of whole detector layers (blocking only when
+    ``max_pending`` chunks are already in flight); ``await finish()``
+    drains the queue, decodes the final window, and returns the
+    stream's per-shot observable predictions.  A decode error inside
+    the worker pool surfaces from ``finish()`` — later submits are
+    swallowed cheaply rather than deadlocking the producer.
+    """
+
+    def __init__(self, service: DecodeService, stream: WindowStream) -> None:
+        self._service = service
+        self._stream = stream
+        self._queue: asyncio.Queue = asyncio.Queue(
+            maxsize=service.max_pending
+        )
+        self._task = asyncio.get_running_loop().create_task(self._drain())
+        self._closed = False
+
+    @property
+    def shots(self) -> int:
+        return self._stream.shots
+
+    async def submit(self, chunk: np.ndarray | PackedBits) -> None:
+        """Enqueue one chunk of whole detector layers for decoding."""
+        if self._closed:
+            raise RuntimeError("session already finished")
+        await self._queue.put((time.perf_counter(), chunk))
+
+    async def finish(self) -> np.ndarray:
+        """Drain, decode the final window, return the predictions."""
+        if self._closed:
+            raise RuntimeError("session already finished")
+        self._closed = True
+        await self._queue.put(_FINISH)
+        return await self._task
+
+    async def _drain(self) -> np.ndarray:
+        loop = asyncio.get_running_loop()
+        executor = self._service._executor
+        error: BaseException | None = None
+        while True:
+            item = await self._queue.get()
+            try:
+                if item is _FINISH:
+                    break
+                if error is None:
+                    submitted, chunk = item
+                    await loop.run_in_executor(
+                        executor, self._stream.push, chunk
+                    )
+                    self._service._chunk_done(
+                        submitted, time.perf_counter()
+                    )
+            except BaseException as exc:  # re-raised from finish()
+                error = exc
+            finally:
+                self._queue.task_done()
+        if error is not None:
+            raise error
+        predictions = await loop.run_in_executor(
+            executor, self._stream.finish
+        )
+        self._service._stream_done(self._stream.shots)
+        return predictions
+
+
+class DecodeService:
+    """Bounded-concurrency asyncio decode service (async context manager).
+
+    ``decoder`` is the shared :class:`SlidingWindowDecoder` whose
+    window graphs and outcome memos every session reuses.  ``workers``
+    is the worker-pool width, the canonical spelling shared with the
+    batch decoders — ``1`` (the default) decodes strictly serially on
+    one worker thread.  ``max_pending`` bounds each session's
+    undecoded-chunk queue; a full queue backpressures ``submit``.
+
+    Usage::
+
+        service = DecodeService(window_decoder, workers=2)
+        async with service:
+            session = service.open_stream(shots)
+            for chunk in syndrome_chunks:
+                await session.submit(chunk)
+            predictions = await session.finish()
+        print(service.stats().p99_ms)
+    """
+
+    def __init__(
+        self,
+        decoder: SlidingWindowDecoder,
+        *,
+        workers: int | None = None,
+        max_pending: int = 4,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        self.decoder = decoder
+        self.workers = 1 if workers is None else workers
+        self.max_pending = max_pending
+        self._executor: ThreadPoolExecutor | None = None
+        self._sessions: list[StreamSession] = []
+        self._latencies: list[float] = []
+        self._streams = 0
+        self._shots = 0
+        self._first_submit: float | None = None
+        self._last_done: float | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    async def __aenter__(self) -> DecodeService:
+        if self._executor is not None:
+            raise RuntimeError("service already started")
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        for session in self._sessions:
+            if not session._closed:
+                session._closed = True
+                session._task.cancel()
+        for session in self._sessions:
+            try:
+                await session._task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._sessions.clear()
+        assert self._executor is not None
+        self._executor.shutdown(wait=True)
+        self._executor = None
+
+    def open_stream(self, shots: int) -> StreamSession:
+        """A fresh session decoding ``shots`` parallel shots."""
+        if self._executor is None:
+            raise RuntimeError(
+                "service not started; use 'async with service:'"
+            )
+        session = StreamSession(self, self.decoder.open_stream(shots))
+        self._sessions.append(session)
+        return session
+
+    # -- accounting -----------------------------------------------------
+    def _chunk_done(self, submitted: float, done: float) -> None:
+        self._latencies.append(done - submitted)
+        if self._first_submit is None or submitted < self._first_submit:
+            self._first_submit = submitted
+        self._last_done = done
+
+    def _stream_done(self, shots: int) -> None:
+        self._streams += 1
+        self._shots += shots
+        self._last_done = time.perf_counter()
+
+    def stats(self) -> ServiceStats:
+        """Latency percentiles and throughput of the work so far."""
+        if self._latencies:
+            p50, p95, p99 = (
+                float(v)
+                for v in np.percentile(
+                    np.asarray(self._latencies) * 1e3, [50.0, 95.0, 99.0]
+                )
+            )
+        else:
+            p50 = p95 = p99 = float("nan")
+        wall = 0.0
+        if self._first_submit is not None and self._last_done is not None:
+            wall = max(0.0, self._last_done - self._first_submit)
+        return ServiceStats(
+            streams=self._streams,
+            chunks=len(self._latencies),
+            shots=self._shots,
+            wall_seconds=wall,
+            p50_ms=p50,
+            p95_ms=p95,
+            p99_ms=p99,
+        )

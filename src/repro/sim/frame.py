@@ -590,17 +590,55 @@ def sample_detectors(
     *,
     seed: int | None = None,
     packed: bool = True,
-    packed_output: bool = False,
+    output: str | None = None,
+    packed_output: bool | None = None,
 ) -> tuple[np.ndarray, np.ndarray] | tuple[PackedBits, PackedBits]:
     """One-call convenience wrapper around :class:`FrameSampler`.
 
-    ``packed`` selects the propagation engine; ``packed_output=True``
-    returns the samples as :class:`~repro.utils.gf2.PackedBits`
-    detector/observable bitplanes (see :meth:`FrameSampler.
-    sample_packed`) instead of ``(shots, n)`` uint8 arrays.  The same
-    ``seed`` yields the same bits either way.
+    ``packed`` selects the propagation engine; ``output`` selects the
+    sample container: ``"rows"`` (the default) returns ``(shots, n)``
+    uint8 arrays, ``"packed"`` returns
+    :class:`~repro.utils.gf2.PackedBits` detector/observable bitplanes
+    (see :meth:`FrameSampler.sample_packed`).  The same ``seed`` yields
+    the same bits either way.
+
+    .. deprecated::
+        The boolean ``packed_output`` flag is superseded by ``output``;
+        it is still accepted (``True`` means ``output="packed"``) but
+        warns once per process.
     """
+    if packed_output is not None:
+        _warn_packed_output_once()
+        if output is not None:
+            raise TypeError(
+                "pass either output= or the deprecated packed_output=, "
+                "not both"
+            )
+        output = "packed" if packed_output else "rows"
+    elif output is None:
+        output = "rows"
+    if output not in ("packed", "rows"):
+        raise ValueError(
+            f"output must be 'packed' or 'rows', got {output!r}"
+        )
     sampler = FrameSampler(circuit, seed=seed, packed=packed)
-    if packed_output:
+    if output == "packed":
         return sampler.sample_packed(shots)
     return sampler.sample(shots)
+
+
+_PACKED_OUTPUT_WARNED = False
+
+
+def _warn_packed_output_once() -> None:
+    global _PACKED_OUTPUT_WARNED
+    if not _PACKED_OUTPUT_WARNED:
+        _PACKED_OUTPUT_WARNED = True
+        import warnings
+
+        warnings.warn(
+            "sample_detectors(packed_output=...) is deprecated; use "
+            "output='packed' or output='rows' instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )

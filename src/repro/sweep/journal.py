@@ -32,8 +32,10 @@ from repro.store.atomic import durable_append
 
 __all__ = ["JOURNAL_FORMAT", "append_record", "read_journal"]
 
-#: Bumped on incompatible journal-record changes.
-JOURNAL_FORMAT = 1
+#: Bumped on incompatible journal-record changes.  Format 2: the
+#: ``SweepSpec.decoder_workers`` field became ``workers`` (field names
+#: enter the spec fingerprint).
+JOURNAL_FORMAT = 2
 
 
 def append_record(path: str | os.PathLike, record: dict) -> dict:

@@ -1,0 +1,20 @@
+# virtual-path: src/repro/eval/bad_workers.py
+# Non-canonical worker-count spellings in function definitions.
+
+
+def run_pool(shots, *, num_workers=None):
+    return shots, num_workers
+
+
+def shard(batch, n_jobs=1):
+    return batch, n_jobs
+
+
+async def serve(stream, *, max_workers=2):
+    return stream, max_workers
+
+
+def legacy_only(shots, *, decoder_workers=None):
+    # decoder_workers without the canonical workers beside it is not
+    # the shim shape — it IS the old API.
+    return shots, decoder_workers

@@ -1,0 +1,151 @@
+"""The PR 10 API redesign's compatibility shims, pinned.
+
+One canonical worker-count spelling (``workers=``) and one canonical
+sample-container contract (``output="packed"|"rows"``) across the
+stack; the pre-redesign spellings (``decoder_workers=``, boolean
+``packed_output=``) keep working through warn-once deprecation shims,
+and passing old and new together is a ``TypeError``.  The warn-once
+globals are reset per test via monkeypatch so each assertion sees a
+fresh process-equivalent state.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.eval.montecarlo as montecarlo
+import repro.sim.frame as frame
+from repro.eval.montecarlo import memory_experiment, resolve_workers
+from repro.eval.throughput import decoding_throughput
+from repro.sim import NoiseModel, memory_circuit, sample_detectors
+from repro.surface import rotated_surface_code
+from repro.sweep.runner import SweepCell, SweepSpec
+from repro.utils.gf2 import PackedBits
+
+
+@pytest.fixture
+def fresh_shims(monkeypatch):
+    """Reset the warn-once latches, as a new process would see them."""
+    monkeypatch.setattr(montecarlo, "_DECODER_WORKERS_WARNED", False)
+    monkeypatch.setattr(frame, "_PACKED_OUTPUT_WARNED", False)
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    code = rotated_surface_code(3).code
+    return memory_circuit(code, "Z", 5, NoiseModel.uniform(1e-3))
+
+
+class TestResolveWorkers:
+    def test_canonical_passes_through(self):
+        assert resolve_workers(4, None) == 4
+        assert resolve_workers(None, None) is None
+
+    def test_deprecated_spelling_warns_once(self, fresh_shims):
+        with pytest.warns(DeprecationWarning, match="decoder_workers"):
+            assert resolve_workers(None, 3) == 3
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_workers(None, 2) == 2  # latched: no rewarn
+
+    def test_both_spellings_is_an_error(self, fresh_shims):
+        with pytest.raises(TypeError, match="not both"):
+            resolve_workers(2, 3)
+
+
+class TestWorkersUnification:
+    """Every pool-fronting entry point takes the same keyword."""
+
+    def test_memory_experiment_old_and_new_agree(self, fresh_shims):
+        code = rotated_surface_code(3).code
+        noise = NoiseModel.uniform(2e-3)
+        new = memory_experiment(
+            code, "Z", noise, rounds=3, shots=200, seed=9, workers=1
+        )
+        with pytest.warns(DeprecationWarning):
+            old = memory_experiment(
+                code, "Z", noise, rounds=3, shots=200, seed=9,
+                decoder_workers=1,
+            )
+        assert new.errors == old.errors
+        assert new.shots == old.shots
+
+    def test_memory_experiment_rejects_both(self, fresh_shims):
+        code = rotated_surface_code(3).code
+        with pytest.raises(TypeError, match="not both"):
+            memory_experiment(
+                code, "Z", NoiseModel.uniform(1e-3),
+                rounds=3, shots=50, workers=1, decoder_workers=1,
+            )
+
+    def test_decoding_throughput_takes_workers(self, fresh_shims):
+        code = rotated_surface_code(3).code
+        result = decoding_throughput(
+            code, NoiseModel.uniform(1e-3),
+            rounds=3, shots=200, seed=2, workers=1,
+        )
+        assert result.shots == 200
+        with pytest.raises(TypeError, match="not both"):
+            decoding_throughput(
+                code, NoiseModel.uniform(1e-3),
+                rounds=3, shots=50, workers=1, decoder_workers=2,
+            )
+
+    def test_sweep_spec_initvar_shim(self, fresh_shims):
+        cells = (SweepCell(distance=3, p=1e-3),)
+        assert SweepSpec(cells=cells, workers=2).workers == 2
+        with pytest.warns(DeprecationWarning, match="decoder_workers"):
+            migrated = SweepSpec(cells=cells, decoder_workers=3)
+        assert migrated.workers == 3
+        with pytest.raises(TypeError, match="not both"):
+            SweepSpec(cells=cells, workers=2, decoder_workers=3)
+
+    def test_sweep_spec_fingerprint_sees_canonical_field(self, fresh_shims):
+        """Old and new spellings of the same sweep fingerprint alike."""
+        cells = (SweepCell(distance=3, p=1e-3),)
+        new = SweepSpec(cells=cells, workers=3)
+        with pytest.warns(DeprecationWarning):
+            old = SweepSpec(cells=cells, decoder_workers=3)
+        assert new.fingerprint() == old.fingerprint()
+
+
+class TestSampleOutputContract:
+    def test_output_rows_is_default(self, circuit):
+        det, obs = sample_detectors(circuit, 8, seed=1)
+        assert isinstance(det, np.ndarray)
+        assert isinstance(obs, np.ndarray)
+
+    def test_output_packed(self, circuit):
+        det, obs = sample_detectors(circuit, 8, seed=1, output="packed")
+        assert isinstance(det, PackedBits)
+        assert isinstance(obs, PackedBits)
+
+    def test_deprecated_boolean_maps_and_warns_once(
+        self, circuit, fresh_shims
+    ):
+        with pytest.warns(DeprecationWarning, match="packed_output"):
+            det_old, _ = sample_detectors(
+                circuit, 8, seed=1, packed_output=True
+            )
+        det_new, _ = sample_detectors(circuit, 8, seed=1, output="packed")
+        np.testing.assert_array_equal(det_old.words, det_new.words)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            rows_old, _ = sample_detectors(
+                circuit, 8, seed=1, packed_output=False
+            )
+        rows_new, _ = sample_detectors(circuit, 8, seed=1, output="rows")
+        np.testing.assert_array_equal(rows_old, rows_new)
+
+    def test_both_contracts_is_an_error(self, circuit, fresh_shims):
+        with pytest.raises(TypeError, match="not both"):
+            sample_detectors(
+                circuit, 8, seed=1, output="rows", packed_output=True
+            )
+
+    def test_unknown_output_is_an_error(self, circuit):
+        with pytest.raises(ValueError, match="packed"):
+            sample_detectors(circuit, 8, seed=1, output="bitplane")

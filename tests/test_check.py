@@ -46,6 +46,7 @@ class TestRuleCatalogue:
             "REP005",
             "REP006",
             "REP007",
+            "REP008",
         ]
 
     def test_every_rule_has_summary(self):
@@ -65,6 +66,7 @@ class TestSeededFixtures:
         "REP005": ("rep005_fail.py", 3),
         "REP006": ("rep006_fail.py", 3),
         "REP007": ("rep007_fail.py", 2),
+        "REP008": ("rep008_fail.py", 4),
     }
 
     @pytest.mark.parametrize("code", RULE_CODES)

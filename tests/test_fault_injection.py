@@ -148,6 +148,36 @@ class TestPoolFaultTolerance:
         np.testing.assert_array_equal(parallel, serial)
         assert multiprocessing.active_children() == []
 
+    def test_workers_one_is_explicitly_serial(self):
+        """``workers=1`` means serial: no fork, ever — pinned.
+
+        A fault armed to kill *any* forked worker never fires, because
+        the explicit serial path must not touch the pool at all (it
+        used to reach serial only when one shard happened to fall
+        below the per-worker floor).  Both spellings are pinned: the
+        per-call ``workers=1`` and the constructor default.
+        """
+        dem, detectors = pool_workload()
+        serial = MatchingDecoder(dem).decode_batch(detectors)
+
+        def kill_any_worker(shard_index):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        per_call = MatchingDecoder(dem)
+        constructed = MatchingDecoder(dem, workers=1)
+        decode_base._WORKER_FAULT = kill_any_worker
+        try:
+            explicit = per_call.decode_batch(detectors, workers=1)
+            defaulted = constructed.decode_batch(detectors)
+        finally:
+            decode_base._WORKER_FAULT = None
+
+        assert per_call.pool_failures == 0
+        assert constructed.pool_failures == 0
+        np.testing.assert_array_equal(explicit, serial)
+        np.testing.assert_array_equal(defaulted, serial)
+        assert multiprocessing.active_children() == []
+
     def test_hung_worker_times_out_to_serial(self):
         dem, detectors = pool_workload()
         serial = MatchingDecoder(dem).decode_batch(detectors)

@@ -32,7 +32,7 @@ _DEM = build_dem(_CIRCUIT)
 def test_packed_and_unpacked_sampling_decode_identically(seed, shots):
     det_u, obs_u = sample_detectors(_CIRCUIT, shots, seed=seed)
     det_p, obs_p = sample_detectors(
-        _CIRCUIT, shots, seed=seed, packed_output=True
+        _CIRCUIT, shots, seed=seed, output="packed"
     )
     # Same sampler state → the packed output is the same bits.
     assert (det_p.unpack().T == det_u).all()

@@ -1,0 +1,218 @@
+"""The asyncio decode service: agreement, backpressure, stats, errors.
+
+Tests drive real event loops through ``asyncio.run`` (no async test
+plugin needed).  Agreement is pinned against whole-history dense
+matching — the service adds scheduling, never different predictions —
+and backpressure is pinned structurally: with ``max_pending=1`` and a
+gated decoder, the one-too-many ``submit`` must block until the worker
+drains.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro import DecodeService, ServiceStats, StreamSession, WindowConfig
+from repro.decode import MatchingDecoder, SlidingWindowDecoder, WindowStream
+from repro.sim import NoiseModel, build_dem, memory_circuit, sample_detectors
+from repro.surface import rotated_surface_code
+
+D, ROUNDS, SHOTS, NOISE_P = 3, 30, 64, 1e-3
+
+
+@pytest.fixture(scope="module")
+def setup():
+    code = rotated_surface_code(D).code
+    noise = NoiseModel.uniform(NOISE_P)
+    circuit = memory_circuit(code, "Z", ROUNDS, noise)
+    det, _ = sample_detectors(circuit, SHOTS, seed=7, output="packed")
+    rows = det.transposed().unpack()
+    reference = MatchingDecoder(
+        build_dem(circuit), matcher="dense"
+    ).decode_batch(rows)
+    window = SlidingWindowDecoder(
+        code, "Z", noise, config=WindowConfig(window=10, commit=5)
+    )
+    return window, det, rows, reference
+
+
+def _layer_chunks(rows, width, layers_per_chunk=5):
+    for lo in range(0, rows.shape[1], layers_per_chunk * width):
+        yield rows[:, lo : lo + layers_per_chunk * width]
+
+
+class TestEndToEnd:
+    def test_chunked_stream_matches_whole_history(self, setup):
+        window, _, rows, reference = setup
+
+        async def main():
+            service = DecodeService(window, workers=2, max_pending=3)
+            async with service:
+                session = service.open_stream(SHOTS)
+                for chunk in _layer_chunks(rows, window.layer_width):
+                    await session.submit(chunk)
+                predictions = await session.finish()
+            return predictions, service.stats()
+
+        predictions, stats = asyncio.run(main())
+        np.testing.assert_array_equal(predictions, reference)
+        assert isinstance(stats, ServiceStats)
+        assert stats.streams == 1
+        assert stats.shots == SHOTS
+        assert stats.chunks == len(
+            list(_layer_chunks(rows, window.layer_width))
+        )
+        assert 0.0 <= stats.p50_ms <= stats.p95_ms <= stats.p99_ms
+        assert np.isfinite(stats.p99_ms)
+        assert stats.shots_per_sec > 0
+
+    def test_packed_bitplane_chunks(self, setup):
+        """The sampler's wire format streams without unpacking."""
+        window, det, _, reference = setup
+
+        async def main():
+            async with DecodeService(window) as service:
+                session = service.open_stream(SHOTS)
+                await session.submit(det)
+                return await session.finish()
+
+        np.testing.assert_array_equal(asyncio.run(main()), reference)
+
+    def test_concurrent_sessions_share_one_service(self, setup):
+        window, _, rows, reference = setup
+
+        async def run_session(service, rows):
+            session = service.open_stream(len(rows))
+            for chunk in _layer_chunks(rows, window.layer_width):
+                await session.submit(chunk)
+            return await session.finish()
+
+        async def main():
+            service = DecodeService(window, workers=2)
+            async with service:
+                a, b = await asyncio.gather(
+                    run_session(service, rows),
+                    run_session(service, rows[:32]),
+                )
+            return a, b, service.stats()
+
+        a, b, stats = asyncio.run(main())
+        np.testing.assert_array_equal(a, reference)
+        np.testing.assert_array_equal(b, reference[:32])
+        assert stats.streams == 2
+        assert stats.shots == SHOTS + 32
+
+    def test_facade_exports(self):
+        assert repro.DecodeService is DecodeService
+        assert repro.StreamSession is StreamSession
+        assert repro.ServiceStats is ServiceStats
+        assert repro.WindowConfig is WindowConfig
+        assert repro.SlidingWindowDecoder is SlidingWindowDecoder
+
+
+class TestBackpressure:
+    def test_full_queue_blocks_submit(self, setup, monkeypatch):
+        window, _, rows, _ = setup
+        gate = threading.Event()
+        original_push = WindowStream.push
+
+        def gated_push(self, chunk):
+            gate.wait(timeout=30)
+            original_push(self, chunk)
+
+        monkeypatch.setattr(WindowStream, "push", gated_push)
+        width = window.layer_width
+        chunk = rows[:, : 5 * width]
+
+        async def main():
+            service = DecodeService(window, workers=1, max_pending=1)
+            async with service:
+                session = service.open_stream(SHOTS)
+                # First chunk: picked up by the worker, stuck at the
+                # gate.  Second: fills the pending queue.
+                await session.submit(chunk)
+                await session.submit(chunk)
+                # Third: must block — the session already holds its
+                # max_pending undecoded chunks.
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        session.submit(chunk), timeout=0.2
+                    )
+                gate.set()
+                await session.submit(rows[:, : 5 * width])
+                await session.finish()
+            return service.stats()
+
+        stats = asyncio.run(main())
+        assert stats.chunks >= 3
+
+
+class TestErrors:
+    def test_decode_error_surfaces_from_finish(self, setup):
+        window, _, rows, _ = setup
+
+        async def main():
+            async with DecodeService(window) as service:
+                session = service.open_stream(SHOTS)
+                # Wrong shot count: the worker-side push raises, and
+                # the error must surface from finish(), not hang.
+                await session.submit(rows[:8])
+                with pytest.raises(ValueError, match="shots"):
+                    await session.finish()
+
+        asyncio.run(main())
+
+    def test_session_is_terminal_after_finish(self, setup):
+        window, _, rows, _ = setup
+
+        async def main():
+            async with DecodeService(window) as service:
+                session = service.open_stream(SHOTS)
+                await session.submit(rows)
+                await session.finish()
+                with pytest.raises(RuntimeError, match="finished"):
+                    await session.submit(rows)
+                with pytest.raises(RuntimeError, match="finished"):
+                    await session.finish()
+
+        asyncio.run(main())
+
+    def test_open_stream_requires_started_service(self, setup):
+        window, _, _, _ = setup
+        service = DecodeService(window)
+        with pytest.raises(RuntimeError, match="async with"):
+            service.open_stream(SHOTS)
+
+    def test_constructor_validation(self, setup):
+        window, _, _, _ = setup
+        with pytest.raises(ValueError, match="workers"):
+            DecodeService(window, workers=0)
+        with pytest.raises(ValueError, match="max_pending"):
+            DecodeService(window, max_pending=0)
+
+    def test_abandoned_session_does_not_block_exit(self, setup):
+        window, _, rows, _ = setup
+
+        async def main():
+            service = DecodeService(window)
+            async with service:
+                session = service.open_stream(SHOTS)
+                await session.submit(rows[:, : 5 * window.layer_width])
+                # Never finished: __aexit__ must cancel and return.
+            return service.stats()
+
+        stats = asyncio.run(main())
+        assert stats.streams == 0
+
+    def test_empty_stats_are_nan(self, setup):
+        window, _, _, _ = setup
+        stats = DecodeService(window).stats()
+        assert stats.chunks == 0
+        assert np.isnan(stats.p50_ms)
+        assert np.isnan(stats.p99_ms)
+        assert stats.shots_per_sec == 0.0

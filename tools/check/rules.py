@@ -440,6 +440,69 @@ class WordPackedDedup(Rule):
             )
 
 
+class CanonicalWorkerSpelling(Rule):
+    """REP008 — a worker-count parameter is spelled ``workers``.
+
+    The PR 10 API unification: every layer that fans work across a
+    pool — ``decode_batch``, the Monte-Carlo harness, sweeps, the
+    decode service — takes the *same* keyword, ``workers=``, so a
+    worker count threads through the stack without renaming at each
+    boundary.  This rule flags any function *definition* under
+    ``src/repro/`` that binds a worker-count parameter under another
+    spelling.  ``decoder_workers`` (the pre-unification spelling) is
+    allowed only in the deprecation-shim shape: a signature that also
+    binds the canonical ``workers``, or a dataclass ``__post_init__``
+    (which receives only the ``InitVar`` alias — the canonical field
+    lives on the class).  Call-site keywords are not flagged: calls
+    into stdlib/third-party APIs keep whatever names those APIs use.
+    """
+
+    code = "REP008"
+    summary = "worker-count parameters are spelled workers="
+
+    _NONCANONICAL = frozenset(
+        {
+            "decoder_workers",
+            "num_workers",
+            "n_workers",
+            "worker_count",
+            "max_workers",
+            "n_jobs",
+            "num_threads",
+            "pool_size",
+        }
+    )
+
+    def applies(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            params = [
+                *node.args.posonlyargs,
+                *node.args.args,
+                *node.args.kwonlyargs,
+            ]
+            bound = {p.arg for p in params}
+            for param in params:
+                if param.arg not in self._NONCANONICAL:
+                    continue
+                if param.arg == "decoder_workers" and (
+                    "workers" in bound or node.name == "__post_init__"
+                ):
+                    continue  # the sanctioned deprecation-shim shape
+                yield self.finding(
+                    ctx,
+                    param,
+                    f"worker-count parameter {param.arg!r}; the canonical "
+                    "spelling across the stack is workers= (keep "
+                    "decoder_workers only as a deprecated alias beside "
+                    "workers in the same signature)",
+                )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     NoNetworkxInDecode(),
     DurableWritesThroughStore(),
@@ -448,4 +511,5 @@ ALL_RULES: tuple[Rule, ...] = (
     VerifiedUnpickleOnly(),
     DeterministicSeedsAndPools(),
     WordPackedDedup(),
+    CanonicalWorkerSpelling(),
 )
